@@ -1,0 +1,51 @@
+//! Microbenchmark: the DES kernel's event queue and engine dispatch.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ddp_sim::{Context, Duration, Engine, EventQueue, Model, SimTime};
+
+fn queue_push_pop(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    // Pseudo-random interleaved times.
+                    let t = (i.wrapping_mul(2654435761)) % 1_000_000;
+                    q.push(SimTime::from_nanos(t + 1_000_000), i);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+struct Chain {
+    left: u32,
+}
+
+impl Model for Chain {
+    type Event = ();
+    fn handle(&mut self, ctx: &mut Context<'_, ()>, _ev: ()) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.schedule_in(Duration::from_nanos(10), ());
+        }
+    }
+}
+
+fn engine_dispatch(c: &mut Criterion) {
+    c.bench_function("engine/dispatch_100k_chained", |b| {
+        b.iter(|| {
+            let mut model = Chain { left: 100_000 };
+            let mut engine = Engine::new();
+            engine.schedule(SimTime::ZERO, ());
+            engine.run(&mut model);
+            engine.events_dispatched()
+        });
+    });
+}
+
+criterion_group!(benches, queue_push_pop, engine_dispatch);
+criterion_main!(benches);

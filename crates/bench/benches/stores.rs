@@ -1,0 +1,49 @@
+//! Microbenchmark: the five KV store backends under a YCSB-A-like mix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddp_sim::SimRng;
+use ddp_store::{AvlMap, BPlusTree, BTree, HashTable, KvStore, SlabCache};
+
+const OPS: usize = 10_000;
+const KEYS: u64 = 10_000;
+
+fn mixed_workout<S: KvStore<u64>>(store: &mut S, rng: &mut SimRng) -> u64 {
+    let mut acc = 0u64;
+    for _ in 0..OPS {
+        let key = rng.next_below(KEYS);
+        if rng.chance(0.5) {
+            acc = acc.wrapping_add(store.get(key).copied().unwrap_or(0));
+        } else {
+            store.put(key, key);
+        }
+    }
+    acc
+}
+
+fn stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stores/ycsb_a_10k");
+    group.bench_function("hashtable", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| mixed_workout(&mut HashTable::new(), &mut rng));
+    });
+    group.bench_function("avlmap", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| mixed_workout(&mut AvlMap::new(), &mut rng));
+    });
+    group.bench_function("btree", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| mixed_workout(&mut BTree::new(), &mut rng));
+    });
+    group.bench_function("bplustree", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| mixed_workout(&mut BPlusTree::new(), &mut rng));
+    });
+    group.bench_function("memcached", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| mixed_workout(&mut SlabCache::with_capacity_bytes(1 << 24), &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, stores);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Microbenchmark: the YCSB request generator and Zipfian sampler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddp_sim::SimRng;
+use ddp_workload::{WorkloadSpec, Zipfian};
+
+fn zipfian_sampling(c: &mut Criterion) {
+    c.bench_function("zipfian/sample_100k", |b| {
+        let z = Zipfian::new(1_000_000, 0.99);
+        let mut rng = SimRng::seed_from(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(z.sample(&mut rng));
+            }
+            acc
+        });
+    });
+}
+
+fn request_stream(c: &mut Criterion) {
+    c.bench_function("workload/ycsb_a_stream_100k", |b| {
+        b.iter(|| {
+            let mut stream = WorkloadSpec::ycsb_a().stream(11);
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(stream.next_request().key);
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, zipfian_sampling, request_stream);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Ablation studies of the simulator's design choices.
+//!
+//! The paper's effects rest on a handful of modeled mechanisms. Each
+//! ablation removes or re-parameterizes one and shows how the headline
+//! results move — evidence that the mechanism, not an artifact, produces
+//! the effect:
+//!
+//! 1. **NVM banks** (pressure): more banks = less queueing = weaker
+//!    Read-Enforced read stalls (§8.1.1's "unexpected result").
+//! 2. **NVM write latency**: the durability cost itself.
+//! 3. **Lazy persist delay**: how "eventual" Eventual persistency is,
+//!    visible in the causal write-buffering gap.
+//! 4. **NIC message-rate limit**: the chatty-protocol bottleneck that
+//!    separates INV/ACK/VAL models from UPD models.
+
+use ddp_bench::{figure_config, measure, measure_sim};
+use ddp_core::{ClusterConfig, Consistency, DdpModel, Persistency};
+use ddp_sim::Duration;
+
+fn main() {
+    nvm_banks();
+    nvm_write_latency();
+    lazy_persist_delay();
+    nic_message_rate();
+}
+
+/// §8.1.1: Read-Enforced persistency read stalls come from NVM bank
+/// queueing. Widening the NVM should shrink the <Lin,RE> vs <Lin,Sync>
+/// read-latency gap.
+fn nvm_banks() {
+    println!("Ablation 1: NVM banks per channel vs Read-Enforced read stalls");
+    println!("{:<10} {:>26} {:>26}", "banks", "<Lin,Sync> mean read ns", "<Lin,RE> mean read ns");
+    for banks in [2u32, 8, 32] {
+        let with_banks = |model: DdpModel| -> ClusterConfig {
+            let mut cfg = figure_config(model);
+            cfg.memory.nvm.banks_per_channel = banks;
+            cfg
+        };
+        let sync = measure(with_banks(DdpModel::baseline()));
+        let re = measure(with_banks(DdpModel::new(
+            Consistency::Linearizable,
+            Persistency::ReadEnforced,
+        )));
+        println!(
+            "{:<10} {:>26.0} {:>26.0}",
+            banks, sync.mean_read_ns, re.mean_read_ns
+        );
+    }
+    println!();
+}
+
+/// The NVM write latency is the durability price; sweep it and watch the
+/// strict-vs-relaxed persistency gap under Linearizable consistency.
+fn nvm_write_latency() {
+    println!("Ablation 2: NVM write latency vs persistency-model gap (<Lin,*>)");
+    println!(
+        "{:<12} {:>16} {:>16} {:>10}",
+        "wr latency", "Sync Mreq/s", "Eventual Mreq/s", "gap"
+    );
+    for ns in [100u64, 400, 1_600] {
+        let with_latency = |model: DdpModel| -> ClusterConfig {
+            let mut cfg = figure_config(model);
+            cfg.memory.nvm.write_latency = Duration::from_nanos(ns);
+            cfg
+        };
+        let sync = measure(with_latency(DdpModel::baseline())).throughput;
+        let ev = measure(with_latency(DdpModel::new(
+            Consistency::Linearizable,
+            Persistency::Eventual,
+        )))
+        .throughput;
+        println!(
+            "{:<12} {:>16.2} {:>16.2} {:>9.2}x",
+            format!("{ns} ns"),
+            sync / 1e6,
+            ev / 1e6,
+            ev / sync
+        );
+    }
+    println!();
+}
+
+/// §8.1.2: the causal buffering gap depends on how lazily Eventual
+/// persistency flushes.
+fn lazy_persist_delay() {
+    println!("Ablation 3: lazy-persist delay vs causal write buffering");
+    println!(
+        "{:<12} {:>22} {:>22}",
+        "delay", "<Causal,Sync> buffered", "<Causal,Evntl> buffered"
+    );
+    for us in [1u64, 5, 20] {
+        let with_delay = |p: Persistency| {
+            let mut cfg = figure_config(DdpModel::new(Consistency::Causal, p));
+            cfg.lazy_persist_delay = Duration::from_micros(us);
+            cfg
+        };
+        let (sync, _) = measure_sim(with_delay(Persistency::Synchronous));
+        let (ev, _) = measure_sim(with_delay(Persistency::Eventual));
+        println!(
+            "{:<12} {:>22.1} {:>22.1}",
+            format!("{us} us"),
+            sync.mean_buffered_writes,
+            ev.mean_buffered_writes
+        );
+    }
+    println!();
+}
+
+/// The NIC message-rate bound is what separates chatty INV/ACK/VAL
+/// protocols from one-way UPD protocols at 100 clients.
+fn nic_message_rate() {
+    println!("Ablation 4: NIC per-message occupancy vs consistency-model gap");
+    println!(
+        "{:<14} {:>16} {:>18} {:>10}",
+        "occupancy", "<Lin,Sync> M/s", "<Evntl,Evntl> M/s", "gap"
+    );
+    for ns in [0u64, 50, 100] {
+        let with_occ = |model: DdpModel| -> ClusterConfig {
+            let mut cfg = figure_config(model);
+            cfg.network.per_message_occupancy = Duration::from_nanos(ns);
+            cfg
+        };
+        let lin = measure(with_occ(DdpModel::baseline())).throughput;
+        let ev = measure(with_occ(DdpModel::new(
+            Consistency::Eventual,
+            Persistency::Eventual,
+        )))
+        .throughput;
+        println!(
+            "{:<14} {:>16.2} {:>18.2} {:>9.2}x",
+            format!("{ns} ns"),
+            lin / 1e6,
+            ev / 1e6,
+            ev / lin
+        );
+    }
+    println!();
+}

@@ -1,0 +1,47 @@
+//! Figure 7 — sensitivity to the number of clients (10 / 100 / 150).
+//!
+//! As in the paper, shows Linearizable and Causal consistency with all five
+//! persistency models; every bar is normalized to
+//! `<Linearizable, Synchronous>` at 100 clients.
+
+use ddp_bench::{figure_config, measure, print_row, print_rule};
+use ddp_core::{Consistency, DdpModel, Persistency};
+
+fn main() {
+    println!("Figure 7: throughput sensitivity to the number of clients");
+    println!("(normalized to <Linearizable, Synchronous> at 100 clients)\n");
+
+    let base = measure(figure_config(DdpModel::baseline()).with_clients(100)).throughput;
+
+    print!("{:<28}", "");
+    for p in Persistency::ALL {
+        print!(" {:>8}", short(p));
+    }
+    println!();
+    for clients in [10u32, 100, 150] {
+        println!("--- {clients} clients ---");
+        for c in [Consistency::Linearizable, Consistency::Causal] {
+            let values: Vec<f64> = Persistency::ALL
+                .iter()
+                .map(|&p| {
+                    let cfg = figure_config(DdpModel::new(c, p)).with_clients(clients);
+                    measure(cfg).throughput / base
+                })
+                .collect();
+            print_row(&c.to_string(), &values);
+        }
+    }
+    print_rule(5);
+    println!("paper anchors: <Lin,Sync> gains ~2.2x going 100 -> 10 clients;");
+    println!("               <Causal,Sync> and <Causal,Eventual> barely move.");
+}
+
+fn short(p: Persistency) -> &'static str {
+    match p {
+        Persistency::Strict => "Strict",
+        Persistency::Synchronous => "Sync",
+        Persistency::ReadEnforced => "RdEnf",
+        Persistency::Scope => "Scope",
+        Persistency::Eventual => "Evntl",
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 9 — sensitivity to the read/write mix: workload-B (95 % reads),
+//! workload-A (50 %), and the paper's workload-W (95 % writes).
+//!
+//! Linearizable and Causal consistency with all five persistency models;
+//! normalized to `<Linearizable, Synchronous>` under workload-A.
+
+use ddp_bench::{figure_config, measure, print_row, print_rule};
+use ddp_core::{Consistency, DdpModel, Persistency};
+use ddp_workload::WorkloadSpec;
+
+fn main() {
+    println!("Figure 9: throughput sensitivity to the read/write mix");
+    println!("(normalized to <Linearizable, Synchronous> under workload-A)\n");
+
+    let base = measure(figure_config(DdpModel::baseline())).throughput;
+
+    print!("{:<28}", "");
+    for p in Persistency::ALL {
+        print!(" {:>8}", short(p));
+    }
+    println!();
+    let workloads = [
+        ("workload-B (95% rd)", WorkloadSpec::ycsb_b()),
+        ("workload-A (50% rd)", WorkloadSpec::ycsb_a()),
+        ("workload-W (5% rd)", WorkloadSpec::workload_w()),
+    ];
+    for (name, wl) in workloads {
+        println!("--- {name} ---");
+        for c in [Consistency::Linearizable, Consistency::Causal] {
+            let values: Vec<f64> = Persistency::ALL
+                .iter()
+                .map(|&p| {
+                    let cfg = figure_config(DdpModel::new(c, p)).with_workload(wl.clone());
+                    measure(cfg).throughput / base
+                })
+                .collect();
+            print_row(&c.to_string(), &values);
+        }
+    }
+    print_rule(5);
+    println!("paper anchor: the more read-intensive the workload, the less the models differ.");
+}
+
+fn short(p: Persistency) -> &'static str {
+    match p {
+        Persistency::Strict => "Strict",
+        Persistency::Synchronous => "Sync",
+        Persistency::ReadEnforced => "RdEnf",
+        Persistency::Scope => "Scope",
+        Persistency::Eventual => "Evntl",
+    }
+}

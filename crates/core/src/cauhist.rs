@@ -1,0 +1,211 @@
+//! Causal histories: vector clocks over coordinator sequence numbers.
+//!
+//! Under Causal consistency every UPD message carries the causal history
+//! (*cauhist*) of the write (paper §5.1): the set of updates that
+//! happen-before it. We represent a cauhist as a vector clock with one
+//! component per node — component `i` is the highest sequence number of
+//! node-`i`-coordinated writes in the history. A replica may apply an
+//! update only once its own applied-clock dominates the update's cauhist.
+
+use std::fmt;
+
+/// A vector clock with one component per cluster node.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_core::VectorClock;
+///
+/// let mut applied = VectorClock::new(3);
+/// let mut dep = VectorClock::new(3);
+/// dep.set(0, 2); // depends on node 0's second write
+/// assert!(!applied.dominates(&dep));
+/// applied.set(0, 2);
+/// assert!(applied.dominates(&dep));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    components: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates an all-zero clock for `nodes` nodes.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        VectorClock {
+            components: vec![0; nodes],
+        }
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if the clock has no components.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Component for `node`.
+    #[must_use]
+    pub fn get(&self, node: usize) -> u64 {
+        self.components[node]
+    }
+
+    /// Sets component `node` to `seq`.
+    pub fn set(&mut self, node: usize, seq: u64) {
+        self.components[node] = seq;
+    }
+
+    /// Increments component `node`, returning the new value.
+    pub fn bump(&mut self, node: usize) -> u64 {
+        self.components[node] += 1;
+        self.components[node]
+    }
+
+    /// Componentwise maximum with `other` (history union).
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.len(), other.len(), "clock size mismatch");
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True if every component of `self` is ≥ the matching component of
+    /// `other` — i.e. `self`'s history contains `other`.
+    #[must_use]
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        assert_eq!(self.len(), other.len(), "clock size mismatch");
+        self.components
+            .iter()
+            .zip(&other.components)
+            .all(|(a, b)| a >= b)
+    }
+
+    /// True if `self` dominates `other` and differs somewhere (strict
+    /// happens-after).
+    #[must_use]
+    pub fn dominates_strictly(&self, other: &VectorClock) -> bool {
+        self.dominates(other) && self != other
+    }
+
+    /// True if neither clock dominates the other (concurrent histories).
+    #[must_use]
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+
+    /// Wire size in bytes (one u64 per component), used for UPD(+cauhist)
+    /// message sizing — the extra traffic Causal consistency pays.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        8 * self.components.len() as u64
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{:?}", self.components)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_clocks_dominate_each_other() {
+        let a = VectorClock::new(4);
+        let b = VectorClock::new(4);
+        assert!(a.dominates(&b));
+        assert!(b.dominates(&a));
+        assert!(!a.dominates_strictly(&b));
+        assert!(!a.concurrent_with(&b));
+    }
+
+    #[test]
+    fn bump_creates_strict_dominance() {
+        let base = VectorClock::new(3);
+        let mut later = base.clone();
+        later.bump(1);
+        assert!(later.dominates_strictly(&base));
+        assert!(!base.dominates(&later));
+    }
+
+    #[test]
+    fn divergent_clocks_are_concurrent() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        a.bump(0);
+        b.bump(1);
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.set(0, 5);
+        a.set(1, 1);
+        b.set(1, 7);
+        b.set(2, 2);
+        a.merge(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.get(2), 2);
+        assert!(a.dominates(&b));
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_commutative() {
+        let mut a = VectorClock::new(2);
+        a.set(0, 3);
+        let mut b = VectorClock::new(2);
+        b.set(1, 4);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut abb = ab.clone();
+        abb.merge(&b);
+        assert_eq!(ab, abb);
+    }
+
+    #[test]
+    fn wire_bytes_counts_components() {
+        assert_eq!(VectorClock::new(5).wire_bytes(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock size mismatch")]
+    fn mismatched_sizes_panic() {
+        let a = VectorClock::new(2);
+        let b = VectorClock::new(3);
+        let _ = a.dominates(&b);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut a = VectorClock::new(3);
+        a.set(1, 9);
+        assert_eq!(a.to_string(), "[0,9,0]");
+    }
+}

@@ -1,0 +1,268 @@
+//! History checkers for the programmer-intuition properties of Table 4.
+//!
+//! The paper judges DDP models by whether they provide *monotonic reads*
+//! (a client that has read a version of a variable never later reads an
+//! older one) and *non-stale reads* (a read that follows a write
+//! system-wide returns it — in particular across failures that may lose
+//! acknowledged writes). These checkers evaluate both properties over the
+//! [`ObservationLog`] of a run, optionally extended with a crash/recovery
+//! outcome.
+
+use std::collections::BTreeMap;
+
+use ddp_store::Key;
+
+use crate::protocol::ObservationLog;
+use crate::recovery::RecoveredState;
+
+/// The verdict of one property check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Whether the property held over the observed history.
+    pub holds: bool,
+    /// Up to 16 violations, for diagnostics.
+    pub violations: Vec<String>,
+    /// How many observations were checked.
+    pub checked: usize,
+}
+
+impl CheckOutcome {
+    fn pass(checked: usize) -> Self {
+        CheckOutcome {
+            holds: true,
+            violations: Vec::new(),
+            checked,
+        }
+    }
+
+    fn record(&mut self, violation: String) {
+        self.holds = false;
+        if self.violations.len() < 16 {
+            self.violations.push(violation);
+        }
+    }
+}
+
+/// Checks observation logs for the Table 4 intuition properties.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_core::{ClusterConfig, DdpModel, HistoryChecker, Simulation};
+///
+/// let cfg = ClusterConfig::micro21(DdpModel::baseline())
+///     .quick()
+///     .with_observations();
+/// let mut sim = Simulation::new(cfg);
+/// sim.run();
+/// let checker = HistoryChecker::new(sim.cluster().observations().clone());
+/// // The strictest model provides monotonic reads.
+/// assert!(checker.monotonic_reads().holds);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HistoryChecker {
+    log: ObservationLog,
+}
+
+impl HistoryChecker {
+    /// Builds a checker over one run's observations.
+    #[must_use]
+    pub fn new(log: ObservationLog) -> Self {
+        HistoryChecker { log }
+    }
+
+    /// The underlying log.
+    #[must_use]
+    pub fn log(&self) -> &ObservationLog {
+        &self.log
+    }
+
+    /// Monotonic reads, as the session guarantee the paper's Table 4 rates:
+    /// if a client reads a version of a key, its later reads of the same
+    /// key never return an older version.
+    #[must_use]
+    pub fn monotonic_reads(&self) -> CheckOutcome {
+        let mut outcome = CheckOutcome::pass(self.log.reads.len());
+        let mut reads: Vec<_> = self.log.reads.iter().collect();
+        reads.sort_by_key(|r| (r.client, r.key, r.completed_at));
+        // (client, key) -> highest version read so far.
+        let mut last: BTreeMap<(u32, Key), u64> = BTreeMap::new();
+        for r in reads {
+            let entry = last.entry((r.client, r.key)).or_insert(0);
+            if r.version < *entry {
+                outcome.record(format!(
+                    "client {} key {}: read v{} at {} after reading v{}",
+                    r.client,
+                    r.key,
+                    r.version,
+                    r.completed_at,
+                    *entry
+                ));
+            }
+            *entry = (*entry).max(r.version);
+        }
+        outcome
+    }
+
+    /// Non-stale reads across a failure: every client-acknowledged write
+    /// must survive recovery. A model provides non-stale reads only if a
+    /// post-crash read can never miss an acknowledged write (paper §6).
+    #[must_use]
+    pub fn non_stale_after_recovery(&self, recovered: &RecoveredState) -> CheckOutcome {
+        let mut outcome = CheckOutcome::pass(self.log.writes.len());
+        // Only the newest acknowledged write per key must survive: older
+        // ones were legitimately overwritten.
+        let mut newest: BTreeMap<Key, u64> = BTreeMap::new();
+        for w in &self.log.writes {
+            let e = newest.entry(w.key).or_insert(0);
+            *e = (*e).max(w.version);
+        }
+        for (key, version) in newest {
+            if recovered.version_of(key) < version {
+                outcome.record(format!(
+                    "key {key}: acknowledged write v{version} lost (recovered v{})",
+                    recovered.version_of(key)
+                ));
+            }
+        }
+        outcome
+    }
+
+    /// Fraction of reads that returned the globally newest acknowledged
+    /// version at their completion time — a staleness measure for the
+    /// weaker models.
+    #[must_use]
+    pub fn fresh_read_fraction(&self) -> f64 {
+        if self.log.reads.is_empty() {
+            return 1.0;
+        }
+        // For each read, find the newest write to the key acknowledged
+        // strictly before the read completed.
+        let mut writes: Vec<_> = self.log.writes.iter().collect();
+        writes.sort_by_key(|w| (w.key, w.completed_at));
+        let mut fresh = 0usize;
+        for r in &self.log.reads {
+            let newest_before = writes
+                .iter()
+                .filter(|w| w.key == r.key && w.completed_at <= r.completed_at)
+                .map(|w| w.version)
+                .max()
+                .unwrap_or(0);
+            if r.version >= newest_before {
+                fresh += 1;
+            }
+        }
+        fresh as f64 / self.log.reads.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ReadObservation, WriteObservation};
+    use ddp_sim::SimTime;
+
+    fn read(key: Key, version: u64, at: u64) -> ReadObservation {
+        ReadObservation {
+            client: 0,
+            node: 0,
+            key,
+            version,
+            completed_at: SimTime::from_nanos(at),
+        }
+    }
+
+    fn write(key: Key, version: u64, at: u64) -> WriteObservation {
+        WriteObservation {
+            client: 0,
+            key,
+            version,
+            completed_at: SimTime::from_nanos(at),
+        }
+    }
+
+    #[test]
+    fn monotonic_history_passes() {
+        let log = ObservationLog {
+            reads: vec![read(1, 1, 10), read(1, 2, 5_000), read(1, 2, 10_000)],
+            writes: vec![],
+        };
+        let out = HistoryChecker::new(log).monotonic_reads();
+        assert!(out.holds);
+        assert_eq!(out.checked, 3);
+    }
+
+    #[test]
+    fn version_regression_fails() {
+        let log = ObservationLog {
+            reads: vec![read(1, 5, 10), read(1, 3, 10_000)],
+            writes: vec![],
+        };
+        let out = HistoryChecker::new(log).monotonic_reads();
+        assert!(!out.holds);
+        assert_eq!(out.violations.len(), 1);
+    }
+
+    #[test]
+    fn other_clients_reads_do_not_interact() {
+        // Session guarantee: regressions across different clients are not
+        // monotonic-read violations.
+        let mut r2 = read(1, 3, 10_000);
+        r2.client = 1;
+        let log = ObservationLog {
+            reads: vec![read(1, 5, 10), r2],
+            writes: vec![],
+        };
+        assert!(HistoryChecker::new(log).monotonic_reads().holds);
+    }
+
+    #[test]
+    fn different_keys_do_not_interact() {
+        let log = ObservationLog {
+            reads: vec![read(1, 9, 10), read(2, 1, 10_000)],
+            writes: vec![],
+        };
+        assert!(HistoryChecker::new(log).monotonic_reads().holds);
+    }
+
+    #[test]
+    fn lost_acknowledged_write_is_stale() {
+        let log = ObservationLog {
+            reads: vec![],
+            writes: vec![write(1, 4, 100)],
+        };
+        let mut recovered = RecoveredState::default();
+        recovered.versions.insert(1, 2);
+        let out = HistoryChecker::new(log).non_stale_after_recovery(&recovered);
+        assert!(!out.holds);
+    }
+
+    #[test]
+    fn recovered_writes_are_non_stale() {
+        let log = ObservationLog {
+            reads: vec![],
+            writes: vec![write(1, 4, 100), write(1, 2, 50)],
+        };
+        let mut recovered = RecoveredState::default();
+        recovered.versions.insert(1, 4);
+        let out = HistoryChecker::new(log).non_stale_after_recovery(&recovered);
+        assert!(out.holds);
+    }
+
+    #[test]
+    fn fresh_fraction_counts_stale_reads() {
+        let log = ObservationLog {
+            reads: vec![read(1, 0, 200), read(1, 1, 300)],
+            writes: vec![write(1, 1, 100)],
+        };
+        let f = HistoryChecker::new(log).fresh_read_fraction();
+        assert!((f - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_is_vacuously_good() {
+        let checker = HistoryChecker::new(ObservationLog::default());
+        assert!(checker.monotonic_reads().holds);
+        assert!((checker.fresh_read_fraction() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! Cluster and experiment configuration.
+
+use ddp_mem::MemoryParams;
+use ddp_net::NetworkParams;
+use ddp_sim::Duration;
+use ddp_store::StoreKind;
+use ddp_workload::WorkloadSpec;
+
+use crate::model::DdpModel;
+
+/// Full configuration of one simulated experiment.
+///
+/// Defaults reproduce the paper's setup: 5 servers, 20 clients per server
+/// (100 total), YCSB-A, Table 5 memory and network parameters, transactions
+/// of 5 requests and scopes of 10 requests (§7).
+///
+/// # Examples
+///
+/// ```
+/// use ddp_core::{ClusterConfig, DdpModel};
+///
+/// let cfg = ClusterConfig::micro21(DdpModel::baseline());
+/// assert_eq!(cfg.nodes, 5);
+/// assert_eq!(cfg.clients, 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// The DDP model under test.
+    pub model: DdpModel,
+    /// Number of server nodes (every key is replicated on all of them).
+    pub nodes: u8,
+    /// Total closed-loop clients, spread round-robin over the nodes.
+    pub clients: u32,
+    /// The request workload.
+    pub workload: WorkloadSpec,
+    /// Which KV backend holds the replicas.
+    pub store: StoreKind,
+    /// Per-node memory system parameters.
+    pub memory: MemoryParams,
+    /// Fabric parameters.
+    pub network: NetworkParams,
+    /// Client requests per transaction under Transactional consistency
+    /// (paper: 5).
+    pub txn_size: u32,
+    /// Client requests per scope under Scope persistency (paper: 10).
+    pub scope_size: u32,
+    /// Delay before an Eventual-consistency coordinator sends its UPDs.
+    pub lazy_propagation_delay: Duration,
+    /// Delay before an Eventual-persistency node starts a background persist.
+    pub lazy_persist_delay: Duration,
+    /// Backoff before a squashed transaction retries.
+    pub txn_retry_backoff: Duration,
+    /// One-way latency between a client thread and a worker thread on its
+    /// node (shared-memory queues in the paper's setup).
+    pub client_link_delay: Duration,
+    /// Worker CPU time to process one request (parse, store access,
+    /// response build). Workers are bounded by the core count.
+    pub request_service: Duration,
+    /// Extra worker CPU per request under Causal consistency: building,
+    /// carrying, and checking causal histories (the paper rates Causal
+    /// implementability low for this reason).
+    pub causal_tracking_overhead: Duration,
+    /// RNG seed for the whole experiment.
+    pub seed: u64,
+    /// Number of client requests to complete before statistics start
+    /// (warm-up, mirroring the paper's 1 B-instruction warm-up).
+    pub warmup_requests: u64,
+    /// Number of measured client requests after warm-up.
+    pub measured_requests: u64,
+    /// Record per-operation observations (read/write log) for the
+    /// consistency/durability checkers. Off by default: the log grows with
+    /// the run length.
+    pub record_observations: bool,
+}
+
+impl ClusterConfig {
+    /// The paper's default configuration for a given DDP model.
+    #[must_use]
+    pub fn micro21(model: DdpModel) -> Self {
+        ClusterConfig {
+            model,
+            nodes: 5,
+            clients: 100,
+            workload: WorkloadSpec::ycsb_a(),
+            store: StoreKind::HashTable,
+            memory: MemoryParams::micro21(),
+            network: NetworkParams::micro21(),
+            txn_size: 5,
+            scope_size: 10,
+            lazy_propagation_delay: Duration::from_micros(5),
+            lazy_persist_delay: Duration::from_micros(5),
+            txn_retry_backoff: Duration::from_nanos(500),
+            client_link_delay: Duration::from_nanos(500),
+            request_service: Duration::from_nanos(2_000),
+            causal_tracking_overhead: Duration::from_nanos(800),
+            seed: 0xDD9,
+            warmup_requests: 2_000,
+            measured_requests: 20_000,
+            record_observations: false,
+        }
+    }
+
+    /// Shrinks the run length (for unit tests and examples).
+    #[must_use]
+    pub fn quick(mut self) -> Self {
+        self.warmup_requests = 200;
+        self.measured_requests = 2_000;
+        self
+    }
+
+    /// Overrides the client count (the Figure 7 sweep).
+    #[must_use]
+    pub fn with_clients(mut self, clients: u32) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Overrides the workload (the Figure 9 sweep).
+    #[must_use]
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Overrides the NIC-to-NIC round trip (the Figure 8 sweep).
+    #[must_use]
+    pub fn with_round_trip(mut self, rtt: Duration) -> Self {
+        self.network = self.network.with_round_trip(rtt);
+        self
+    }
+
+    /// Overrides the replica store backend.
+    #[must_use]
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables the per-operation observation log (checker support).
+    #[must_use]
+    pub fn with_observations(mut self) -> Self {
+        self.record_observations = true;
+        self
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 2 {
+            return Err("need at least 2 nodes for replication".into());
+        }
+        if self.clients == 0 {
+            return Err("need at least one client".into());
+        }
+        if self.txn_size == 0 {
+            return Err("transaction size must be positive".into());
+        }
+        if self.scope_size == 0 {
+            return Err("scope size must be positive".into());
+        }
+        if self.measured_requests == 0 {
+            return Err("measured_requests must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DdpModel;
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = ClusterConfig::micro21(DdpModel::baseline());
+        assert_eq!(cfg.nodes, 5);
+        assert_eq!(cfg.clients, 100);
+        assert_eq!(cfg.txn_size, 5);
+        assert_eq!(cfg.scope_size, 10);
+        assert_eq!(cfg.workload.name, "YCSB-A");
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_override() {
+        let cfg = ClusterConfig::micro21(DdpModel::baseline())
+            .with_clients(10)
+            .with_seed(7);
+        assert_eq!(cfg.clients, 10);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut cfg = ClusterConfig::micro21(DdpModel::baseline());
+        cfg.nodes = 1;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ClusterConfig::micro21(DdpModel::baseline());
+        cfg.clients = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ClusterConfig::micro21(DdpModel::baseline());
+        cfg.txn_size = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

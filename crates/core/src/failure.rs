@@ -1,0 +1,157 @@
+//! Failure injection: volatile-state crashes and NVM snapshots.
+//!
+//! A crash in this model wipes every node's volatile hierarchy (caches and
+//! DRAM) but preserves NVM. What the cluster can recover is therefore
+//! exactly what each node had persisted — the per-key `local_persisted`
+//! version of its replica store. [`crash_snapshot`] captures those images;
+//! the [`recovery`](crate::recovery) module reconstructs a cluster state
+//! from them.
+
+use std::collections::BTreeMap;
+
+use ddp_store::Key;
+
+use crate::protocol::Cluster;
+
+/// The NVM image of one node: the highest durable version per key.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeImage {
+    /// Per-key persisted version (absent = never persisted).
+    pub persisted: BTreeMap<Key, u64>,
+}
+
+impl NodeImage {
+    /// The persisted version of `key`, or 0 if none.
+    #[must_use]
+    pub fn version_of(&self, key: Key) -> u64 {
+        self.persisted.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of keys with durable state.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.persisted.len()
+    }
+
+    /// True if nothing was persisted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.persisted.is_empty()
+    }
+}
+
+/// What survives a whole-cluster volatile failure: one NVM image per node,
+/// plus the volatile ("lost") view for comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    /// Durable per-node images (these survive the crash).
+    pub nvm: Vec<NodeImage>,
+    /// The volatile visible versions at crash time (these are lost; kept so
+    /// checkers can measure what the crash destroyed).
+    pub volatile: Vec<NodeImage>,
+}
+
+impl ClusterSnapshot {
+    /// Number of nodes in the snapshot.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nvm.len()
+    }
+
+    /// All keys any node has durable or volatile state for.
+    #[must_use]
+    pub fn all_keys(&self) -> Vec<Key> {
+        let mut keys: Vec<Key> = self
+            .nvm
+            .iter()
+            .chain(self.volatile.iter())
+            .flat_map(|img| img.persisted.keys().copied())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// The highest version of `key` that was persisted *anywhere*.
+    #[must_use]
+    pub fn max_persisted(&self, key: Key) -> u64 {
+        self.nvm.iter().map(|img| img.version_of(key)).max().unwrap_or(0)
+    }
+
+    /// The highest version of `key` that was visible anywhere (including
+    /// volatile state the crash destroyed).
+    #[must_use]
+    pub fn max_visible(&self, key: Key) -> u64 {
+        self.volatile
+            .iter()
+            .map(|img| img.version_of(key))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Captures what a whole-cluster volatile failure would leave behind.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_core::{crash_snapshot, ClusterConfig, DdpModel, Simulation};
+///
+/// let mut sim = Simulation::new(ClusterConfig::micro21(DdpModel::baseline()).quick());
+/// sim.run();
+/// let snap = crash_snapshot(sim.cluster());
+/// assert_eq!(snap.nodes(), 5);
+/// ```
+#[must_use]
+pub fn crash_snapshot(cluster: &Cluster) -> ClusterSnapshot {
+    let mut nvm = Vec::new();
+    let mut volatile = Vec::new();
+    for store in cluster.node_stores_public() {
+        let mut durable = NodeImage::default();
+        let mut seen = NodeImage::default();
+        store.for_each(&mut |key, st| {
+            if st.local_persisted > 0 {
+                durable.persisted.insert(key, st.local_persisted);
+            }
+            if st.visible > 0 {
+                seen.persisted.insert(key, st.visible);
+            }
+        });
+        nvm.push(durable);
+        volatile.push(seen);
+    }
+    ClusterSnapshot { nvm, volatile }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(pairs: &[(Key, u64)]) -> NodeImage {
+        NodeImage {
+            persisted: pairs.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn node_image_lookup() {
+        let img = image(&[(1, 5), (2, 9)]);
+        assert_eq!(img.version_of(1), 5);
+        assert_eq!(img.version_of(3), 0);
+        assert_eq!(img.len(), 2);
+        assert!(!img.is_empty());
+    }
+
+    #[test]
+    fn snapshot_max_versions() {
+        let snap = ClusterSnapshot {
+            nvm: vec![image(&[(1, 3)]), image(&[(1, 7)]), image(&[])],
+            volatile: vec![image(&[(1, 9)]), image(&[(1, 7)]), image(&[(2, 4)])],
+        };
+        assert_eq!(snap.max_persisted(1), 7);
+        assert_eq!(snap.max_visible(1), 9);
+        assert_eq!(snap.max_persisted(2), 0);
+        assert_eq!(snap.all_keys(), vec![1, 2]);
+        assert_eq!(snap.nodes(), 3);
+    }
+}

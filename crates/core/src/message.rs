@@ -1,0 +1,343 @@
+//! The protocol message set (Table 3 of the paper).
+
+use ddp_net::NodeId;
+use ddp_store::Key;
+
+use crate::cauhist::VectorClock;
+
+/// Fixed per-message header bytes (addressing, key, version, op id).
+pub const HEADER_BYTES: u64 = 64;
+
+/// Identifier of one client write as tracked by its coordinator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WriteId {
+    /// Coordinator that received the client's write.
+    pub coordinator: NodeId,
+    /// Coordinator-local sequence number of the write.
+    pub seq: u64,
+}
+
+/// Identifier of a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId {
+    /// Coordinator running the transaction.
+    pub coordinator: NodeId,
+    /// Coordinator-local transaction number.
+    pub seq: u64,
+}
+
+/// Identifier of a persistency scope. Scopes are totally ordered within a
+/// process and unordered across processes (paper §2.2), so the id pairs the
+/// issuing node with a local counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ScopeId {
+    /// Node whose client issued the scope.
+    pub node: NodeId,
+    /// Node-local scope number (total order within the node).
+    pub seq: u64,
+}
+
+/// The messages of the DDP protocols (Table 3).
+///
+/// Every variant carries enough identification for the receiver to attribute
+/// it to a key and an in-flight operation. Scope-persistency runs tag the
+/// carrying envelope with the scope instead of duplicating message variants
+/// (the paper's `[XXX]s` notation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// `INV (+data)`: invalidates the current value of a key and provides
+    /// its updated value.
+    Inv {
+        /// The write being propagated.
+        write: WriteId,
+        /// Key being updated.
+        key: Key,
+        /// Version number the update installs.
+        version: u64,
+        /// Payload size (the "+data").
+        value_bytes: u32,
+        /// Scope tag under Scope persistency (`[INV]s`).
+        scope: Option<ScopeId>,
+        /// Transaction tag under Transactional consistency.
+        txn: Option<TxnId>,
+    },
+    /// `ACK`: acknowledges both the consistency and persistency event
+    /// (used when persists happen before the ACK, i.e. Synchronous/Strict).
+    Ack {
+        /// The write acknowledged.
+        write: WriteId,
+        /// The acknowledging follower.
+        from: NodeId,
+    },
+    /// `ACK_c`: acknowledges the consistency event (volatile apply) only.
+    AckC {
+        /// The write acknowledged.
+        write: WriteId,
+        /// The acknowledging follower.
+        from: NodeId,
+    },
+    /// `ACK_p`: acknowledges the persistency event (NVM persist) only.
+    AckP {
+        /// The write acknowledged.
+        write: WriteId,
+        /// The acknowledging follower.
+        from: NodeId,
+    },
+    /// `VAL`: marks the termination of both events.
+    Val {
+        /// The write validated.
+        write: WriteId,
+        /// Key the write updated.
+        key: Key,
+        /// Version now valid everywhere.
+        version: u64,
+    },
+    /// `VAL_c`: marks the termination of the consistency event.
+    ValC {
+        /// The write validated.
+        write: WriteId,
+        /// Key the write updated.
+        key: Key,
+        /// Version now visible everywhere.
+        version: u64,
+    },
+    /// `VAL_p`: marks the termination of the persistency event.
+    ValP {
+        /// The write whose persists completed everywhere.
+        write: WriteId,
+        /// Key the write updated.
+        key: Key,
+        /// Version now durable everywhere.
+        version: u64,
+    },
+    /// `UPD (+cauhist)`: one-way update under Causal/Eventual consistency;
+    /// Causal attaches the causal history.
+    Upd {
+        /// The write being propagated.
+        write: WriteId,
+        /// Key being updated.
+        key: Key,
+        /// Version number the update installs.
+        version: u64,
+        /// Payload size.
+        value_bytes: u32,
+        /// Causal history (`None` under Eventual consistency).
+        cauhist: Option<VectorClock>,
+        /// Persist-on-arrival marker (Strict persistency pushes updates as
+        /// RDMA WritePersistent).
+        persist_on_arrival: bool,
+        /// Scope tag under Scope persistency (`[UPD]s`).
+        scope: Option<ScopeId>,
+    },
+    /// `INITX`: a transaction begins.
+    InitX {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// `ENDX`: a transaction ends; followers must finish applying (and,
+    /// per the persistency model, persisting) all its writes before ACKing.
+    EndX {
+        /// The transaction.
+        txn: TxnId,
+        /// How many writes the transaction performed (followers wait for
+        /// all of them before acknowledging the end).
+        writes: u32,
+    },
+    /// `[PERSIST]s`: the scope `s` ended; persist all its writes.
+    Persist {
+        /// The scope to persist.
+        scope: ScopeId,
+    },
+    /// Acknowledgment of INITX/ENDX.
+    AckX {
+        /// The transaction acknowledged.
+        txn: TxnId,
+        /// Whether this acknowledges the begin (`false` = end).
+        begin: bool,
+        /// The acknowledging follower.
+        from: NodeId,
+    },
+    /// `[ACK_p]s`: all writes of scope `s` persisted at the sender.
+    AckScope {
+        /// The scope acknowledged.
+        scope: ScopeId,
+        /// The acknowledging follower.
+        from: NodeId,
+    },
+    /// `[VAL_p]s`: scope `s` is durable everywhere.
+    ValScope {
+        /// The scope now durable cluster-wide.
+        scope: ScopeId,
+    },
+    /// Validation of a transaction end (paper Figure 4: the final VAL).
+    ValX {
+        /// The transaction validated.
+        txn: TxnId,
+    },
+}
+
+impl Message {
+    /// Wire size in bytes, for NIC serialization and traffic accounting.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Message::Inv { value_bytes, .. } => HEADER_BYTES + u64::from(*value_bytes),
+            Message::Upd {
+                value_bytes,
+                cauhist,
+                ..
+            } => {
+                HEADER_BYTES
+                    + u64::from(*value_bytes)
+                    + cauhist.as_ref().map_or(0, VectorClock::wire_bytes)
+            }
+            _ => HEADER_BYTES,
+        }
+    }
+
+    /// Short name matching Table 3, for traces and tests.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Inv { .. } => "INV",
+            Message::Ack { .. } => "ACK",
+            Message::AckC { .. } => "ACK_c",
+            Message::AckP { .. } => "ACK_p",
+            Message::Val { .. } => "VAL",
+            Message::ValC { .. } => "VAL_c",
+            Message::ValP { .. } => "VAL_p",
+            Message::Upd { .. } => "UPD",
+            Message::InitX { .. } => "INITX",
+            Message::EndX { .. } => "ENDX",
+            Message::Persist { .. } => "PERSIST",
+            Message::AckX { .. } => "ACK_x",
+            Message::AckScope { .. } => "ACK_p_s",
+            Message::ValScope { .. } => "VAL_p_s",
+            Message::ValX { .. } => "VAL_x",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wid() -> WriteId {
+        WriteId {
+            coordinator: NodeId(0),
+            seq: 1,
+        }
+    }
+
+    #[test]
+    fn inv_carries_data_bytes() {
+        let m = Message::Inv {
+            write: wid(),
+            key: 9,
+            version: 1,
+            value_bytes: 256,
+            scope: None,
+            txn: None,
+        };
+        assert_eq!(m.wire_bytes(), HEADER_BYTES + 256);
+        assert_eq!(m.kind_name(), "INV");
+    }
+
+    #[test]
+    fn upd_with_cauhist_is_bigger() {
+        let bare = Message::Upd {
+            write: wid(),
+            key: 1,
+            version: 1,
+            value_bytes: 100,
+            cauhist: None,
+            persist_on_arrival: false,
+            scope: None,
+        };
+        let with = Message::Upd {
+            write: wid(),
+            key: 1,
+            version: 1,
+            value_bytes: 100,
+            cauhist: Some(VectorClock::new(5)),
+            persist_on_arrival: false,
+            scope: None,
+        };
+        assert_eq!(with.wire_bytes() - bare.wire_bytes(), 40);
+    }
+
+    #[test]
+    fn control_messages_are_header_sized() {
+        let msgs = [
+            Message::Ack {
+                write: wid(),
+                from: NodeId(1),
+            },
+            Message::ValP {
+                write: wid(),
+                key: 1,
+                version: 1,
+            },
+            Message::InitX {
+                txn: TxnId {
+                    coordinator: NodeId(0),
+                    seq: 3,
+                },
+            },
+            Message::Persist {
+                scope: ScopeId {
+                    node: NodeId(0),
+                    seq: 2,
+                },
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.wire_bytes(), HEADER_BYTES, "{}", m.kind_name());
+        }
+    }
+
+    #[test]
+    fn table3_names() {
+        assert_eq!(
+            Message::AckC {
+                write: wid(),
+                from: NodeId(1)
+            }
+            .kind_name(),
+            "ACK_c"
+        );
+        assert_eq!(
+            Message::ValC {
+                write: wid(),
+                key: 0,
+                version: 0
+            }
+            .kind_name(),
+            "VAL_c"
+        );
+        assert_eq!(
+            Message::EndX {
+                txn: TxnId {
+                    coordinator: NodeId(2),
+                    seq: 0
+                },
+                writes: 3
+            }
+            .kind_name(),
+            "ENDX"
+        );
+    }
+
+    #[test]
+    fn scope_ids_order_within_node() {
+        let a = ScopeId {
+            node: NodeId(1),
+            seq: 1,
+        };
+        let b = ScopeId {
+            node: NodeId(1),
+            seq: 2,
+        };
+        assert!(a < b);
+    }
+}

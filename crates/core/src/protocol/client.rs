@@ -1,0 +1,253 @@
+//! The closed-loop client driver: issuing requests, completing them,
+//! warm-up handling, and run termination.
+
+use ddp_net::NodeId;
+use ddp_sim::{Context, SimTime};
+use ddp_store::Key;
+use ddp_workload::{ClientId, OpKind, Request};
+
+use crate::message::{ScopeId, TxnId};
+use crate::model::{Consistency, Persistency};
+use crate::stats::RunStats;
+
+use super::{ClientPhase, Cluster, Event, ObservationLog, ReadObservation, WriteObservation};
+
+impl Cluster {
+    /// The node that coordinates a client's requests.
+    pub(crate) fn home_of(&self, client: ClientId) -> NodeId {
+        NodeId(self.clients.clients().nth(client.index()).map_or(0, |c| c.home_node()))
+    }
+
+    /// Handles a client being ready to issue its next request.
+    pub(crate) fn on_issue(&mut self, ctx: &mut Context<'_, Event>, client: ClientId) {
+        if self.done {
+            return;
+        }
+        // Scope persistency: after `scope_size` requests, the client issues a
+        // Persist call for the scope before continuing (paper §7: scopes are
+        // 10 client requests).
+        if self.pers == Persistency::Scope
+            && self.cstate[client.index()].scope_reqs >= self.cfg.scope_size
+        {
+            self.cstate[client.index()].scope_reqs = 0;
+            self.start_scope_persist(ctx, client);
+            return;
+        }
+        if self.cons == Consistency::Transactional {
+            self.issue_transactional(ctx, client);
+            return;
+        }
+        let request = self.clients.client_mut(client).next_request();
+        self.cstate[client.index()].phase = ClientPhase::Busy;
+        self.dispatch_request(ctx, client, request, ctx.now());
+    }
+
+    /// Routes one plain (non-transactional) request into the protocol.
+    pub(crate) fn dispatch_request(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        client: ClientId,
+        request: Request,
+        issued_at: SimTime,
+    ) {
+        let scope = self.current_scope(client);
+        self.admit_request(ctx, client, request, issued_at, None, scope);
+    }
+
+    /// Admits a request through the client link and a worker core: the
+    /// protocol round starts once a worker has processed the request.
+    pub(crate) fn admit_request(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        client: ClientId,
+        request: Request,
+        issued_at: SimTime,
+        txn: Option<TxnId>,
+        scope: Option<ScopeId>,
+    ) {
+        let home = self.home_of(client);
+        let arrive = ctx.now() + self.cfg.client_link_delay;
+        let mut service = self.cfg.request_service;
+        if self.cons == Consistency::Causal {
+            service += self.cfg.causal_tracking_overhead;
+        }
+        let start = {
+            let workers = &mut self.nodes[home.index()].workers;
+            let (idx, free) = workers
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|&(_, t)| t)
+                .expect("node has at least one worker");
+            let start = free.max(arrive);
+            workers[idx] = start + service;
+            start + service
+        };
+        ctx.schedule_at(
+            start,
+            Event::ExecOp {
+                client,
+                request,
+                issued_at,
+                txn,
+                scope,
+            },
+        );
+    }
+
+    /// A request clears worker admission and enters the protocol.
+    pub(crate) fn on_exec_op(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        client: ClientId,
+        request: Request,
+        issued_at: SimTime,
+        txn: Option<TxnId>,
+        scope: Option<ScopeId>,
+    ) {
+        match request.op {
+            OpKind::Read => self.start_read(ctx, client, request, issued_at),
+            OpKind::Write => self.start_write(ctx, client, request, issued_at, txn, scope),
+        }
+    }
+
+    /// The scope a client's current requests belong to (Scope persistency).
+    pub(crate) fn current_scope(&self, client: ClientId) -> Option<ScopeId> {
+        if self.pers != Persistency::Scope {
+            return None;
+        }
+        let cr = &self.cstate[client.index()];
+        Some(ScopeId {
+            node: self.home_of(client),
+            seq: (u64::from(client.0) << 32) | cr.scope_counter,
+        })
+    }
+
+    /// Records a completed read or write and schedules the client's next
+    /// request. `issued_at` is the (first) issue time; `t_done` is when the
+    /// value/acknowledgment reached the client.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn complete_request(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        client: ClientId,
+        is_read: bool,
+        issued_at: SimTime,
+        t_done: SimTime,
+        key: Key,
+        version: u64,
+        node: NodeId,
+    ) {
+        self.record_completed(ctx, client, is_read, issued_at, t_done, key, version, node);
+        self.cstate[client.index()].phase = ClientPhase::Idle;
+        if self.pers == Persistency::Scope {
+            self.cstate[client.index()].scope_reqs += 1;
+        }
+        self.schedule_next_issue(ctx, client, t_done);
+    }
+
+    /// Statistics and bookkeeping shared by plain and transactional
+    /// completions.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_completed(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        client: ClientId,
+        is_read: bool,
+        issued_at: SimTime,
+        t_done: SimTime,
+        key: Key,
+        version: u64,
+        node: NodeId,
+    ) {
+        let t_done = t_done + self.cfg.client_link_delay;
+        let latency = t_done.saturating_since(issued_at);
+        if self.measuring {
+            if is_read {
+                self.stats.reads_completed += 1;
+                self.stats.read_latency.record(latency);
+            } else {
+                self.stats.writes_completed += 1;
+                self.stats.write_latency.record(latency);
+            }
+            self.stats.access_latency.record(latency);
+            self.measured_completed += 1;
+        }
+        if self.cfg.record_observations {
+            record_observation(
+                &mut self.observations,
+                client,
+                node,
+                is_read,
+                key,
+                version,
+                t_done,
+            );
+        }
+        self.total_completed += 1;
+        if !self.measuring && self.total_completed >= self.cfg.warmup_requests {
+            self.begin_measurement(ctx.now());
+        }
+        if self.measuring && self.measured_completed >= self.cfg.measured_requests {
+            self.done = true;
+            ctx.request_stop();
+        }
+    }
+
+    /// Starts the measured window: statistics reset, clock noted.
+    fn begin_measurement(&mut self, now: SimTime) {
+        self.measuring = true;
+        let mut fresh = RunStats {
+            window_start: now,
+            ..RunStats::default()
+        };
+        // Carry the buffer gauge's current level across the reset.
+        fresh.causal_buffered.set(now, self.stats.causal_buffered.current());
+        self.stats = fresh;
+        self.update_buffer_gauge(now);
+    }
+
+    /// Schedules the client's next issue after its think time.
+    pub(crate) fn schedule_next_issue(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        client: ClientId,
+        not_before: SimTime,
+    ) {
+        if self.done {
+            return;
+        }
+        let think = self.clients.client_mut(client).think();
+        let at = not_before.max(ctx.now()) + think;
+        ctx.schedule_at(at, Event::Issue(client));
+        self.clients.client_mut(client).complete_one();
+    }
+}
+
+/// Appends one observation to the log.
+fn record_observation(
+    log: &mut ObservationLog,
+    client: ClientId,
+    node: NodeId,
+    is_read: bool,
+    key: Key,
+    version: u64,
+    t_done: SimTime,
+) {
+    if is_read {
+        log.reads.push(ReadObservation {
+            client: client.0,
+            node: node.0,
+            key,
+            version,
+            completed_at: t_done,
+        });
+    } else {
+        log.writes.push(WriteObservation {
+            client: client.0,
+            key,
+            version,
+            completed_at: t_done,
+        });
+    }
+}

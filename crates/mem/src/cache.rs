@@ -1,0 +1,273 @@
+//! Set-associative cache hierarchy model with DDIO.
+//!
+//! The protocol engines need the *time* a local volatile access takes. We
+//! model a three-level hierarchy (private L1/L2, shared LLC) with true LRU
+//! sets, plus the Data Direct I/O path: updates arriving from the NIC are
+//! injected straight into a reserved fraction of LLC ways, as on real Xeons
+//! with DDIO (paper §4, Table 5: 10 % of the LLC).
+
+use std::collections::VecDeque;
+
+use ddp_sim::Duration;
+
+use crate::params::{CacheParams, MemoryParams, CORE_GHZ};
+
+/// Where an access was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HitLevel {
+    /// Private L1 cache.
+    L1,
+    /// Private L2 cache.
+    L2,
+    /// Shared last-level cache.
+    Llc,
+    /// Missed the whole hierarchy; satisfied by DRAM.
+    Memory,
+}
+
+/// One set-associative cache level with LRU replacement.
+///
+/// Tags are full line addresses; the structure stores no data, only presence,
+/// because the simulator is a timing model.
+#[derive(Clone, Debug)]
+struct CacheLevel {
+    sets: Vec<VecDeque<u64>>, // front = most recently used
+    ways: usize,
+    line_shift: u32,
+}
+
+impl CacheLevel {
+    fn new(params: &CacheParams) -> Self {
+        let sets = params.sets().max(1) as usize;
+        CacheLevel {
+            sets: vec![VecDeque::new(); sets],
+            ways: params.ways as usize,
+            line_shift: params.line_bytes.trailing_zeros(),
+        }
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr >> self.line_shift) % self.sets.len() as u64) as usize
+    }
+
+    fn line(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Looks up the line; on hit, promotes it to MRU.
+    fn access(&mut self, addr: u64) -> bool {
+        let line = self.line(addr);
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+            set.push_front(line);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Installs the line as MRU, evicting LRU if the set is full.
+    fn fill(&mut self, addr: u64) {
+        let line = self.line(addr);
+        let ways = self.ways;
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+        } else if set.len() >= ways {
+            set.pop_back();
+        }
+        set.push_front(line);
+    }
+
+    /// Removes the line if present (invalidation).
+    fn invalidate(&mut self, addr: u64) {
+        let line = self.line(addr);
+        let idx = self.set_index(addr);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+        }
+    }
+}
+
+/// The per-node cache hierarchy: one L1 + L2 (the core running the worker
+/// thread for a request) and the shared LLC split into a DDIO partition and
+/// a regular partition.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_mem::{CacheHierarchy, HitLevel, MemoryParams};
+///
+/// let mut caches = CacheHierarchy::new(&MemoryParams::micro21());
+/// let (level, _lat) = caches.access(0x1000);
+/// assert_eq!(level, HitLevel::Memory); // cold miss
+/// let (level, _lat) = caches.access(0x1000);
+/// assert_eq!(level, HitLevel::L1); // now resident
+/// ```
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    l1: CacheLevel,
+    l2: CacheLevel,
+    llc: CacheLevel,
+    ddio: CacheLevel,
+    l1_lat: Duration,
+    l2_lat: Duration,
+    llc_lat: Duration,
+    mem_lat: Duration,
+    hits: [u64; 4],
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy for the given parameters.
+    #[must_use]
+    pub fn new(params: &MemoryParams) -> Self {
+        let llc_total = params.llc_total();
+        let ddio_ways =
+            ((f64::from(llc_total.ways) * params.ddio_fraction).round() as u32).max(1);
+        let ddio = CacheParams {
+            ways: ddio_ways,
+            capacity_bytes: llc_total.capacity_bytes * u64::from(ddio_ways)
+                / u64::from(llc_total.ways),
+            ..llc_total
+        };
+        let main_llc = CacheParams {
+            ways: llc_total.ways - ddio_ways,
+            ..llc_total
+        };
+        CacheHierarchy {
+            l1: CacheLevel::new(&params.l1),
+            l2: CacheLevel::new(&params.l2),
+            llc: CacheLevel::new(&main_llc),
+            ddio: CacheLevel::new(&ddio),
+            l1_lat: params.l1.round_trip(),
+            l2_lat: params.l2.round_trip(),
+            llc_lat: llc_total.round_trip(),
+            mem_lat: params.dram.read_latency
+                + Duration::from_cycles(llc_total.round_trip_cycles, CORE_GHZ),
+            hits: [0; 4],
+        }
+    }
+
+    /// Performs a CPU load/store to `addr`; returns where it hit and the
+    /// access latency. Fills all levels on the way back (inclusive model).
+    pub fn access(&mut self, addr: u64) -> (HitLevel, Duration) {
+        let (level, lat) = if self.l1.access(addr) {
+            (HitLevel::L1, self.l1_lat)
+        } else if self.l2.access(addr) {
+            self.l1.fill(addr);
+            (HitLevel::L2, self.l2_lat)
+        } else if self.llc.access(addr) || self.ddio.access(addr) {
+            self.l1.fill(addr);
+            self.l2.fill(addr);
+            (HitLevel::Llc, self.llc_lat)
+        } else {
+            self.l1.fill(addr);
+            self.l2.fill(addr);
+            self.llc.fill(addr);
+            (HitLevel::Memory, self.mem_lat)
+        };
+        self.hits[level as usize] += 1;
+        (level, lat)
+    }
+
+    /// Injects a line arriving from the NIC directly into the DDIO partition
+    /// of the LLC (Data Direct I/O). Private caches are invalidated so the
+    /// next CPU access sees the new data at LLC latency.
+    pub fn ddio_inject(&mut self, addr: u64) -> Duration {
+        self.ddio.fill(addr);
+        self.l1.invalidate(addr);
+        self.l2.invalidate(addr);
+        self.llc_lat
+    }
+
+    /// Latency of an LLC round trip, used for protocol bookkeeping updates.
+    #[must_use]
+    pub fn llc_latency(&self) -> Duration {
+        self.llc_lat
+    }
+
+    /// Hit counts indexed as `[L1, L2, LLC, Memory]`.
+    #[must_use]
+    pub fn hit_counts(&self) -> [u64; 4] {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(&MemoryParams::micro21())
+    }
+
+    #[test]
+    fn cold_miss_then_l1_hit() {
+        let mut c = hierarchy();
+        assert_eq!(c.access(0x40).0, HitLevel::Memory);
+        assert_eq!(c.access(0x40).0, HitLevel::L1);
+    }
+
+    #[test]
+    fn same_line_different_offset_hits() {
+        let mut c = hierarchy();
+        c.access(0x40);
+        assert_eq!(c.access(0x7f).0, HitLevel::L1); // same 64B line
+        assert_eq!(c.access(0x80).0, HitLevel::Memory); // next line
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut c = hierarchy();
+        // L1: 128 sets * 64B lines -> addresses 8KB apart map to one set.
+        // Fill 9 lines in set 0 to evict the first from the 8-way L1.
+        for i in 0..9u64 {
+            c.access(i * 128 * 64);
+        }
+        let (level, _) = c.access(0);
+        assert_eq!(level, HitLevel::L2);
+    }
+
+    #[test]
+    fn latencies_are_ordered() {
+        let mut c = hierarchy();
+        let (_, mem) = c.access(0x1000);
+        let (_, l1) = c.access(0x1000);
+        assert!(mem > l1);
+        assert_eq!(l1, Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn ddio_injection_hits_in_llc() {
+        let mut c = hierarchy();
+        c.ddio_inject(0x2000);
+        let (level, lat) = c.access(0x2000);
+        assert_eq!(level, HitLevel::Llc);
+        assert_eq!(lat, Duration::from_nanos(19)); // 38 cycles at 2 GHz
+    }
+
+    #[test]
+    fn ddio_invalidate_private_copies() {
+        let mut c = hierarchy();
+        c.access(0x3000); // resident in L1 after this
+        c.access(0x3000);
+        c.ddio_inject(0x3000); // remote update arrives
+        let (level, _) = c.access(0x3000);
+        assert_eq!(level, HitLevel::Llc, "stale private copy must be dropped");
+    }
+
+    #[test]
+    fn hit_counts_accumulate() {
+        let mut c = hierarchy();
+        c.access(0x40);
+        c.access(0x40);
+        c.access(0x40);
+        let [l1, _l2, _llc, mem] = c.hit_counts();
+        assert_eq!(l1, 2);
+        assert_eq!(mem, 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Banked memory-device timing model (DRAM and NVM).
+//!
+//! Requests are dispatched to a bank chosen by address; each bank services
+//! one request at a time, so outstanding persists queue up. This queueing is
+//! the *NVM pressure* effect the paper highlights (§8.1.1): persistency
+//! models that allow many outstanding persists (e.g. Read-Enforced) build up
+//! bank queues, and reads that must wait for those persists stall longer.
+
+use ddp_sim::{Duration, LevelGauge, SimTime};
+
+use crate::params::DeviceParams;
+
+/// Kind of device request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read of one line/record.
+    Read,
+    /// A write (for NVM: a persist).
+    Write,
+}
+
+/// A banked memory device that computes request completion times.
+///
+/// The device is a pure timing model: callers pass the current simulated
+/// time and get back the completion time, then schedule their own events.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_mem::{AccessKind, BankedDevice, MemoryParams};
+/// use ddp_sim::SimTime;
+///
+/// let params = MemoryParams::micro21().nvm;
+/// let mut nvm = BankedDevice::new(params);
+/// let t0 = SimTime::ZERO;
+/// let done = nvm.submit(t0, 0x40, 64, AccessKind::Write);
+/// assert!(done >= t0 + params.write_latency);
+/// // A second write to the same bank queues behind the first.
+/// let done2 = nvm.submit(t0, 0x40, 64, AccessKind::Write);
+/// assert!(done2 > done);
+/// ```
+#[derive(Debug)]
+pub struct BankedDevice {
+    params: DeviceParams,
+    /// Time each bank becomes free.
+    bank_free: Vec<SimTime>,
+    /// Occupancy statistics: number of requests in flight.
+    in_flight: LevelGauge,
+    /// Completion times of in-flight requests, kept sorted-ish for pruning.
+    completions: Vec<SimTime>,
+    reads: u64,
+    writes: u64,
+    total_queue_wait: Duration,
+}
+
+impl BankedDevice {
+    /// Creates a device with all banks idle.
+    #[must_use]
+    pub fn new(params: DeviceParams) -> Self {
+        BankedDevice {
+            params,
+            bank_free: vec![SimTime::ZERO; params.total_banks() as usize],
+            in_flight: LevelGauge::new(),
+            completions: Vec::new(),
+            reads: 0,
+            writes: 0,
+            total_queue_wait: Duration::ZERO,
+        }
+    }
+
+    /// The device parameters.
+    #[must_use]
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    fn bank_for(&self, addr: u64) -> usize {
+        // Line-interleave across banks; a multiplicative hash spreads
+        // key-derived addresses evenly.
+        let line = addr >> 6;
+        (line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize % self.bank_free.len()
+    }
+
+    /// Submits a request at `now` and returns its completion time.
+    ///
+    /// The request occupies its bank for the service time (latency plus bus
+    /// transfer for `bytes`); requests to a busy bank wait for it.
+    pub fn submit(&mut self, now: SimTime, addr: u64, bytes: u64, kind: AccessKind) -> SimTime {
+        self.prune(now);
+        let bank = self.bank_for(addr);
+        let base = match kind {
+            AccessKind::Read => {
+                self.reads += 1;
+                self.params.read_latency
+            }
+            AccessKind::Write => {
+                self.writes += 1;
+                self.params.write_latency
+            }
+        };
+        let service = base + self.params.transfer_time(bytes);
+        let start = self.bank_free[bank].max(now);
+        self.total_queue_wait += start.saturating_since(now);
+        let done = start + service;
+        self.bank_free[bank] = done;
+        self.in_flight.adjust(now, 1);
+        self.completions.push(done);
+        done
+    }
+
+    /// Drops bookkeeping for requests that completed before `now`.
+    fn prune(&mut self, now: SimTime) {
+        let before = self.completions.len();
+        self.completions.retain(|&c| c > now);
+        let finished = before - self.completions.len();
+        if finished > 0 {
+            self.in_flight.adjust(now, -(finished as i64));
+        }
+    }
+
+    /// Number of requests still in flight at `now`.
+    pub fn pressure(&mut self, now: SimTime) -> usize {
+        self.prune(now);
+        self.completions.len()
+    }
+
+    /// The earliest time at which every request submitted so far has
+    /// completed (the "drain point").
+    #[must_use]
+    pub fn drain_time(&self) -> SimTime {
+        self.bank_free
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Total reads submitted.
+    #[must_use]
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes submitted.
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Sum of time requests spent waiting for a busy bank.
+    #[must_use]
+    pub fn total_queue_wait(&self) -> Duration {
+        self.total_queue_wait
+    }
+
+    /// Occupancy gauge (max and time-weighted mean in-flight requests).
+    #[must_use]
+    pub fn occupancy(&self) -> &LevelGauge {
+        &self.in_flight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MemoryParams;
+
+    fn nvm() -> BankedDevice {
+        BankedDevice::new(MemoryParams::micro21().nvm)
+    }
+
+    #[test]
+    fn idle_write_takes_service_time() {
+        let mut d = nvm();
+        let done = d.submit(SimTime::ZERO, 0, 64, AccessKind::Write);
+        // 400 ns write + 4 ns transfer of 64 B.
+        assert_eq!(done, SimTime::from_nanos(404));
+    }
+
+    #[test]
+    fn idle_read_is_faster_than_write() {
+        let mut d = nvm();
+        let r = d.submit(SimTime::ZERO, 0, 64, AccessKind::Read);
+        let mut d2 = nvm();
+        let w = d2.submit(SimTime::ZERO, 0, 64, AccessKind::Write);
+        assert!(r < w);
+        assert_eq!(r, SimTime::from_nanos(144));
+    }
+
+    #[test]
+    fn same_bank_requests_serialize() {
+        let mut d = nvm();
+        let a = d.submit(SimTime::ZERO, 0x40, 64, AccessKind::Write);
+        let b = d.submit(SimTime::ZERO, 0x40, 64, AccessKind::Write);
+        assert_eq!(b.saturating_since(a), a.saturating_since(SimTime::ZERO));
+        assert!(d.total_queue_wait() > Duration::ZERO);
+    }
+
+    #[test]
+    fn different_banks_proceed_in_parallel() {
+        let mut d = nvm();
+        // Find two addresses mapping to different banks.
+        let mut addr2 = 0x80;
+        while d.bank_for(addr2) == d.bank_for(0x40) {
+            addr2 += 0x40;
+        }
+        let a = d.submit(SimTime::ZERO, 0x40, 64, AccessKind::Write);
+        let b = d.submit(SimTime::ZERO, addr2, 64, AccessKind::Write);
+        assert_eq!(a, b, "independent banks should not serialize");
+    }
+
+    #[test]
+    fn pressure_rises_and_drains() {
+        let mut d = nvm();
+        for i in 0..32u64 {
+            d.submit(SimTime::ZERO, i * 0x40, 64, AccessKind::Write);
+        }
+        assert!(d.pressure(SimTime::ZERO) > 0);
+        let drain = d.drain_time();
+        assert_eq!(d.pressure(drain), 0);
+    }
+
+    #[test]
+    fn queue_wait_grows_with_load() {
+        let mut light = nvm();
+        let mut heavy = nvm();
+        for i in 0..4u64 {
+            light.submit(SimTime::ZERO, i * 0x40, 64, AccessKind::Write);
+        }
+        for i in 0..256u64 {
+            heavy.submit(SimTime::ZERO, i * 0x40, 64, AccessKind::Write);
+        }
+        assert!(heavy.total_queue_wait() > light.total_queue_wait());
+    }
+
+    #[test]
+    fn counts_track_kinds() {
+        let mut d = nvm();
+        d.submit(SimTime::ZERO, 0, 64, AccessKind::Read);
+        d.submit(SimTime::ZERO, 0, 64, AccessKind::Write);
+        d.submit(SimTime::ZERO, 0, 64, AccessKind::Write);
+        assert_eq!(d.read_count(), 1);
+        assert_eq!(d.write_count(), 2);
+    }
+
+    #[test]
+    fn later_submission_does_not_wait_for_drained_bank() {
+        let mut d = nvm();
+        let first = d.submit(SimTime::ZERO, 0x40, 64, AccessKind::Write);
+        let later = d.submit(first, 0x40, 64, AccessKind::Write);
+        assert_eq!(later.saturating_since(first), Duration::from_nanos(404));
+    }
+}

@@ -1,0 +1,197 @@
+//! The cluster fabric: node addressing, unicast, and broadcast.
+
+use ddp_sim::SimTime;
+
+use crate::nic::{Nic, RdmaKind};
+use crate::params::NetworkParams;
+
+/// Identifier of a server node in the cluster.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_net::NodeId;
+///
+/// let n = NodeId(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "node3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u8);
+
+impl NodeId {
+    /// The node's position as a zero-based index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A message handed to the fabric for delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Destination node.
+    pub to: NodeId,
+    /// When the message has fully arrived at the destination NIC.
+    pub arrival: SimTime,
+}
+
+/// The RDMA fabric connecting all nodes: one [`Nic`] per node plus full
+/// connectivity.
+///
+/// The fabric computes *when* messages arrive; the caller schedules the
+/// corresponding simulator events and interprets payloads. Keeping payloads
+/// out of this type lets the network model stay independent of the protocol
+/// message set.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_net::{Fabric, NetworkParams, NodeId, RdmaKind};
+/// use ddp_sim::SimTime;
+///
+/// let mut fabric = Fabric::new(5, NetworkParams::micro21());
+/// let deliveries = fabric.broadcast(SimTime::ZERO, NodeId(0), 64, RdmaKind::Send);
+/// assert_eq!(deliveries.len(), 4); // everyone but the sender
+/// ```
+#[derive(Debug)]
+pub struct Fabric {
+    nics: Vec<Nic>,
+    params: NetworkParams,
+}
+
+impl Fabric {
+    /// Creates a fabric of `nodes` fully connected NICs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or exceeds 255.
+    #[must_use]
+    pub fn new(nodes: usize, params: NetworkParams) -> Self {
+        assert!(nodes > 0 && nodes <= 255, "node count out of range");
+        Fabric {
+            nics: (0..nodes).map(|_| Nic::new(params)).collect(),
+            params,
+        }
+    }
+
+    /// Number of nodes on the fabric.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nics.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nics.len() as u8).map(NodeId)
+    }
+
+    /// The fabric parameters.
+    #[must_use]
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// Sends `bytes` from `from` to `to`; returns the arrival time.
+    ///
+    /// `kind` is carried for accounting; placement guarantees (e.g.
+    /// [`RdmaKind::WritePersistent`]) are enforced by the receiver's
+    /// protocol engine, which persists before acknowledging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` — local operations do not cross the fabric.
+    pub fn unicast(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64, kind: RdmaKind) -> Delivery {
+        assert_ne!(from, to, "cannot send to self over the fabric");
+        let _ = kind;
+        let arrival = self.nics[from.index()].send(now, bytes);
+        Delivery { to, arrival }
+    }
+
+    /// Broadcasts `bytes` from `from` to every other node.
+    ///
+    /// The copies serialize on the sender's egress link, so each follower
+    /// sees a slightly later arrival — exactly the cost the paper's
+    /// broadcast-based protocols pay per write.
+    pub fn broadcast(&mut self, now: SimTime, from: NodeId, bytes: u64, kind: RdmaKind) -> Vec<Delivery> {
+        let targets: Vec<NodeId> = self.nodes().filter(|&n| n != from).collect();
+        targets
+            .into_iter()
+            .map(|to| self.unicast(now, from, to, bytes, kind))
+            .collect()
+    }
+
+    /// The NIC of `node`, for statistics.
+    #[must_use]
+    pub fn nic(&self, node: NodeId) -> &Nic {
+        &self.nics[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddp_sim::Duration;
+
+    #[test]
+    fn unicast_arrival_has_flight_time() {
+        let mut f = Fabric::new(3, NetworkParams::micro21());
+        let d = f.unicast(SimTime::ZERO, NodeId(0), NodeId(1), 64, RdmaKind::Send);
+        assert_eq!(d.to, NodeId(1));
+        assert!(d.arrival >= SimTime::ZERO + NetworkParams::micro21().one_way());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_else() {
+        let mut f = Fabric::new(5, NetworkParams::micro21());
+        let ds = f.broadcast(SimTime::ZERO, NodeId(2), 64, RdmaKind::WriteVolatile);
+        let mut tos: Vec<u8> = ds.iter().map(|d| d.to.0).collect();
+        tos.sort_unstable();
+        assert_eq!(tos, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn broadcast_copies_serialize() {
+        let mut f = Fabric::new(5, NetworkParams::micro21());
+        let ds = f.broadcast(SimTime::ZERO, NodeId(0), 64 * 1024, RdmaKind::WriteVolatile);
+        let mut arrivals: Vec<SimTime> = ds.iter().map(|d| d.arrival).collect();
+        arrivals.sort_unstable();
+        assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot send to self")]
+    fn self_send_panics() {
+        let mut f = Fabric::new(2, NetworkParams::micro21());
+        f.unicast(SimTime::ZERO, NodeId(0), NodeId(0), 64, RdmaKind::Send);
+    }
+
+    #[test]
+    fn per_node_nics_are_independent() {
+        let mut f = Fabric::new(3, NetworkParams::micro21());
+        // Saturate node 0's egress.
+        for _ in 0..32 {
+            f.unicast(SimTime::ZERO, NodeId(0), NodeId(1), 64 * 1024, RdmaKind::Send);
+        }
+        // Node 2 is unaffected.
+        let d = f.unicast(SimTime::ZERO, NodeId(2), NodeId(1), 64, RdmaKind::Send);
+        assert_eq!(d.arrival, SimTime::from_nanos(603));
+        assert_eq!(f.nic(NodeId(0)).sent_count(), 32);
+    }
+
+    #[test]
+    fn rtt_sweep_changes_arrivals() {
+        for (rtt_us, expect_one_way) in [(1u64, 500u64), (2, 1000)] {
+            let params = NetworkParams::micro21().with_round_trip(Duration::from_micros(rtt_us));
+            let mut f = Fabric::new(2, params);
+            let d = f.unicast(SimTime::ZERO, NodeId(0), NodeId(1), 64, RdmaKind::Send);
+            assert_eq!(d.arrival, SimTime::from_nanos(50 + 3 + 50 + expect_one_way));
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! A B-tree keyed by [`Key`].
+//!
+//! This is the "B-Tree" store of the paper's evaluation (the cpp-btree
+//! role): values live in every node, and nodes are wide to stay cache
+//! friendly.
+
+use crate::traits::{Key, KvStore, OrderedKvStore};
+
+/// Minimum degree `t`: nodes hold between `t-1` and `2t-1` keys
+/// (except the root, which may hold fewer).
+const T: usize = 8;
+const MAX_KEYS: usize = 2 * T - 1;
+
+#[derive(Clone, Debug)]
+struct Node<V> {
+    keys: Vec<Key>,
+    values: Vec<V>,
+    children: Vec<Node<V>>, // empty for leaves
+}
+
+impl<V> Node<V> {
+    fn leaf() -> Self {
+        Node {
+            keys: Vec::with_capacity(MAX_KEYS),
+            values: Vec::with_capacity(MAX_KEYS),
+            children: Vec::new(),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    fn is_full(&self) -> bool {
+        self.keys.len() == MAX_KEYS
+    }
+
+    /// Splits full child `i`, lifting its median into `self`.
+    fn split_child(&mut self, i: usize) {
+        let child = &mut self.children[i];
+        let mut right = Node::leaf();
+        right.keys = child.keys.split_off(T);
+        right.values = child.values.split_off(T);
+        if !child.is_leaf() {
+            right.children = child.children.split_off(T);
+        }
+        let median_key = child.keys.pop().expect("full child has T keys left");
+        let median_val = child.values.pop().expect("parallel to keys");
+        self.keys.insert(i, median_key);
+        self.values.insert(i, median_val);
+        self.children.insert(i + 1, right);
+    }
+
+    fn insert_nonfull(&mut self, key: Key, value: V) -> Option<V> {
+        match self.keys.binary_search(&key) {
+            Ok(pos) => Some(std::mem::replace(&mut self.values[pos], value)),
+            Err(pos) => {
+                if self.is_leaf() {
+                    self.keys.insert(pos, key);
+                    self.values.insert(pos, value);
+                    None
+                } else {
+                    let mut pos = pos;
+                    if self.children[pos].is_full() {
+                        self.split_child(pos);
+                        match key.cmp(&self.keys[pos]) {
+                            std::cmp::Ordering::Greater => pos += 1,
+                            std::cmp::Ordering::Equal => {
+                                return Some(std::mem::replace(&mut self.values[pos], value));
+                            }
+                            std::cmp::Ordering::Less => {}
+                        }
+                    }
+                    self.children[pos].insert_nonfull(key, value)
+                }
+            }
+        }
+    }
+
+    fn get(&self, key: Key) -> Option<&V> {
+        match self.keys.binary_search(&key) {
+            Ok(pos) => Some(&self.values[pos]),
+            Err(pos) => {
+                if self.is_leaf() {
+                    None
+                } else {
+                    self.children[pos].get(key)
+                }
+            }
+        }
+    }
+
+    fn get_mut(&mut self, key: Key) -> Option<&mut V> {
+        match self.keys.binary_search(&key) {
+            Ok(pos) => Some(&mut self.values[pos]),
+            Err(pos) => {
+                if self.is_leaf() {
+                    None
+                } else {
+                    self.children[pos].get_mut(key)
+                }
+            }
+        }
+    }
+
+    fn min_keys() -> usize {
+        T - 1
+    }
+
+    /// Removes `key` from this subtree; `self` must have > min keys unless
+    /// it is the root.
+    fn remove(&mut self, key: Key) -> Option<V> {
+        match self.keys.binary_search(&key) {
+            Ok(pos) => {
+                if self.is_leaf() {
+                    self.keys.remove(pos);
+                    Some(self.values.remove(pos))
+                } else {
+                    self.remove_internal(pos)
+                }
+            }
+            Err(pos) => {
+                if self.is_leaf() {
+                    return None;
+                }
+                self.ensure_child_can_lose(pos);
+                // After rebalancing, the separator may have moved.
+                match self.keys.binary_search(&key) {
+                    Ok(p) => self.remove_internal(p),
+                    Err(p) => self.children[p].remove(key),
+                }
+            }
+        }
+    }
+
+    /// Removes the key at `pos` of an internal node.
+    fn remove_internal(&mut self, pos: usize) -> Option<V> {
+        if self.children[pos].keys.len() > Self::min_keys() {
+            // Replace with predecessor from the left subtree.
+            let (pk, pv) = self.children[pos].take_max();
+            self.keys[pos] = pk;
+            Some(std::mem::replace(&mut self.values[pos], pv))
+        } else if self.children[pos + 1].keys.len() > Self::min_keys() {
+            let (sk, sv) = self.children[pos + 1].take_min();
+            self.keys[pos] = sk;
+            Some(std::mem::replace(&mut self.values[pos], sv))
+        } else {
+            // Merge the two children around the key, then recurse.
+            let key = self.keys[pos];
+            self.merge_children(pos);
+            self.children[pos].remove(key)
+        }
+    }
+
+    fn take_max(&mut self) -> (Key, V) {
+        if self.is_leaf() {
+            let k = self.keys.pop().expect("nonempty by invariant");
+            let v = self.values.pop().expect("parallel to keys");
+            (k, v)
+        } else {
+            let last = self.children.len() - 1;
+            self.ensure_child_can_lose(last);
+            let last = self.children.len() - 1;
+            self.children[last].take_max()
+        }
+    }
+
+    fn take_min(&mut self) -> (Key, V) {
+        if self.is_leaf() {
+            let k = self.keys.remove(0);
+            let v = self.values.remove(0);
+            (k, v)
+        } else {
+            self.ensure_child_can_lose(0);
+            self.children[0].take_min()
+        }
+    }
+
+    /// Guarantees `children[i]` has more than the minimum number of keys,
+    /// borrowing from a sibling or merging as needed. May shrink
+    /// `self.children`; callers must re-derive indices afterwards.
+    fn ensure_child_can_lose(&mut self, i: usize) {
+        if self.children[i].keys.len() > Self::min_keys() {
+            return;
+        }
+        if i > 0 && self.children[i - 1].keys.len() > Self::min_keys() {
+            // Rotate from the left sibling through the separator.
+            let (lk, lv) = {
+                let left = &mut self.children[i - 1];
+                let k = left.keys.pop().expect("has spare");
+                let v = left.values.pop().expect("parallel");
+                (k, v)
+            };
+            let sep_k = std::mem::replace(&mut self.keys[i - 1], lk);
+            let sep_v = std::mem::replace(&mut self.values[i - 1], lv);
+            let moved_child = if !self.children[i - 1].is_leaf() {
+                self.children[i - 1].children.pop()
+            } else {
+                None
+            };
+            let child = &mut self.children[i];
+            child.keys.insert(0, sep_k);
+            child.values.insert(0, sep_v);
+            if let Some(mc) = moved_child {
+                child.children.insert(0, mc);
+            }
+        } else if i + 1 < self.children.len()
+            && self.children[i + 1].keys.len() > Self::min_keys()
+        {
+            // Rotate from the right sibling through the separator.
+            let (rk, rv) = {
+                let right = &mut self.children[i + 1];
+                let k = right.keys.remove(0);
+                let v = right.values.remove(0);
+                (k, v)
+            };
+            let sep_k = std::mem::replace(&mut self.keys[i], rk);
+            let sep_v = std::mem::replace(&mut self.values[i], rv);
+            let moved_child = if !self.children[i + 1].is_leaf() {
+                Some(self.children[i + 1].children.remove(0))
+            } else {
+                None
+            };
+            let child = &mut self.children[i];
+            child.keys.push(sep_k);
+            child.values.push(sep_v);
+            if let Some(mc) = moved_child {
+                child.children.push(mc);
+            }
+        } else if i + 1 < self.children.len() {
+            self.merge_children(i);
+        } else {
+            self.merge_children(i - 1);
+        }
+    }
+
+    /// Merges `children[i]`, the separator at `i`, and `children[i+1]`.
+    fn merge_children(&mut self, i: usize) {
+        let right = self.children.remove(i + 1);
+        let sep_k = self.keys.remove(i);
+        let sep_v = self.values.remove(i);
+        let left = &mut self.children[i];
+        left.keys.push(sep_k);
+        left.values.push(sep_v);
+        left.keys.extend(right.keys);
+        left.values.extend(right.values);
+        left.children.extend(right.children);
+    }
+
+    fn for_each<'a>(&'a self, f: &mut dyn FnMut(Key, &'a V)) {
+        if self.is_leaf() {
+            for (k, v) in self.keys.iter().zip(&self.values) {
+                f(*k, v);
+            }
+        } else {
+            for i in 0..self.keys.len() {
+                self.children[i].for_each(f);
+                f(self.keys[i], &self.values[i]);
+            }
+            self.children
+                .last()
+                .expect("internal node has keys+1 children")
+                .for_each(f);
+        }
+    }
+}
+
+/// A B-tree with values in every node (cpp-btree style).
+///
+/// # Examples
+///
+/// ```
+/// use ddp_store::{BTree, KvStore, OrderedKvStore};
+///
+/// let mut t = BTree::new();
+/// for k in (0..100u64).rev() {
+///     t.put(k, k);
+/// }
+/// assert_eq!(t.len(), 100);
+/// assert_eq!(t.keys_in_order(), (0..100).collect::<Vec<_>>());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BTree<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+impl<V> BTree<V> {
+    /// Creates an empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        BTree {
+            root: Node::leaf(),
+            len: 0,
+        }
+    }
+
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        fn check<V>(node: &Node<V>, lo: Option<Key>, hi: Option<Key>, is_root: bool) -> usize {
+            assert_eq!(node.keys.len(), node.values.len());
+            if !is_root {
+                assert!(node.keys.len() >= T - 1, "underfull node");
+            }
+            assert!(node.keys.len() <= MAX_KEYS, "overfull node");
+            assert!(node.keys.windows(2).all(|w| w[0] < w[1]), "unsorted keys");
+            if let (Some(lo), Some(first)) = (lo, node.keys.first()) {
+                assert!(*first > lo);
+            }
+            if let (Some(hi), Some(last)) = (hi, node.keys.last()) {
+                assert!(*last < hi);
+            }
+            if node.is_leaf() {
+                1
+            } else {
+                assert_eq!(node.children.len(), node.keys.len() + 1);
+                let mut depth = None;
+                for (i, child) in node.children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(node.keys[i - 1]) };
+                    let chi = if i == node.keys.len() {
+                        hi
+                    } else {
+                        Some(node.keys[i])
+                    };
+                    let d = check(child, clo, chi, false);
+                    match depth {
+                        None => depth = Some(d),
+                        Some(prev) => assert_eq!(prev, d, "leaves at unequal depth"),
+                    }
+                }
+                depth.expect("internal node has children") + 1
+            }
+        }
+        check(&self.root, None, None, true);
+    }
+}
+
+impl<V> Default for BTree<V> {
+    fn default() -> Self {
+        BTree::new()
+    }
+}
+
+impl<V> KvStore<V> for BTree<V> {
+    fn get(&self, key: Key) -> Option<&V> {
+        self.root.get(key)
+    }
+
+    fn get_mut(&mut self, key: Key) -> Option<&mut V> {
+        self.root.get_mut(key)
+    }
+
+    fn put(&mut self, key: Key, value: V) -> Option<V> {
+        if self.root.is_full() {
+            let old_root = std::mem::replace(&mut self.root, Node::leaf());
+            self.root.children.push(old_root);
+            self.root.split_child(0);
+        }
+        let old = self.root.insert_nonfull(key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn remove(&mut self, key: Key) -> Option<V> {
+        let old = self.root.remove(key);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        if self.root.keys.is_empty() && !self.root.is_leaf() {
+            self.root = self.root.children.remove(0);
+        }
+        old
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn for_each<'a>(&'a self, f: &mut dyn FnMut(Key, &'a V)) {
+        self.for_each_in_order(f);
+    }
+}
+
+impl<V> OrderedKvStore<V> for BTree<V> {
+    fn for_each_in_order<'a>(&'a self, f: &mut dyn FnMut(Key, &'a V)) {
+        if self.len > 0 {
+            self.root.for_each(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_and_descending_inserts() {
+        for rev in [false, true] {
+            let mut t = BTree::new();
+            let keys: Vec<u64> = if rev {
+                (0..500).rev().collect()
+            } else {
+                (0..500).collect()
+            };
+            for &k in &keys {
+                t.put(k, k);
+                t.assert_invariants();
+            }
+            assert_eq!(t.keys_in_order(), (0..500).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn update_in_leaf_and_internal_nodes() {
+        let mut t = BTree::new();
+        for k in 0..200u64 {
+            t.put(k, 0);
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.put(k, 1), Some(0), "update of key {k}");
+        }
+        assert_eq!(t.len(), 200);
+    }
+
+    #[test]
+    fn removal_all_orders() {
+        let mut t = BTree::new();
+        for k in 0..300u64 {
+            t.put(k, k);
+        }
+        // Remove in an interleaved order to exercise borrow and merge paths.
+        let mut order: Vec<u64> = (0..300).collect();
+        order.sort_by_key(|k| (k % 7, *k));
+        for &k in &order {
+            assert_eq!(t.remove(k), Some(k), "removing {k}");
+            t.assert_invariants();
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut t = BTree::new();
+        for k in 0..100u64 {
+            t.put(k, k);
+        }
+        assert_eq!(t.remove(1000), None);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn random_workout_matches_model() {
+        use std::collections::BTreeMap;
+        let mut t = BTree::new();
+        let mut model = BTreeMap::new();
+        let mut state = 0xDEAD_BEEF_u64;
+        for step in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (state >> 33) % 700;
+            match state % 4 {
+                0 | 1 => assert_eq!(t.put(key, step), model.insert(key, step)),
+                2 => assert_eq!(t.remove(key), model.remove(&key)),
+                _ => assert_eq!(t.get(key), model.get(&key)),
+            }
+        }
+        t.assert_invariants();
+        assert_eq!(t.len(), model.len());
+        assert_eq!(t.keys_in_order(), model.keys().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn get_mut_updates_value() {
+        let mut t = BTree::new();
+        t.put(5, vec![1]);
+        t.get_mut(5).unwrap().push(2);
+        assert_eq!(t.get(5), Some(&vec![1, 2]));
+    }
+}

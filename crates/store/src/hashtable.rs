@@ -1,0 +1,298 @@
+//! An open-addressing hash table with Robin Hood probing.
+//!
+//! This is the "HashTable" store of the paper's evaluation. Written from
+//! scratch (no `std::collections::HashMap` inside) so the whole storage
+//! stack is self-contained and its behaviour is deterministic across
+//! platforms.
+
+use crate::traits::{Key, KvStore};
+
+/// Multiplicative hash (Fibonacci hashing) — good avalanche for sequential
+/// and Zipfian key patterns alike.
+fn hash(key: Key, shift: u32) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize
+}
+
+#[derive(Clone, Debug)]
+struct Slot<V> {
+    key: Key,
+    value: V,
+    /// Distance from the slot the key hashes to (for Robin Hood balancing).
+    probe_len: u32,
+}
+
+/// An open-addressing hash table with Robin Hood displacement and
+/// backward-shift deletion (no tombstones).
+///
+/// # Examples
+///
+/// ```
+/// use ddp_store::{HashTable, KvStore};
+///
+/// let mut t = HashTable::new();
+/// for k in 0..100u64 {
+///     t.put(k, k * 2);
+/// }
+/// assert_eq!(t.len(), 100);
+/// assert_eq!(t.get(40), Some(&80));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HashTable<V> {
+    slots: Vec<Option<Slot<V>>>,
+    len: usize,
+    /// `64 - log2(capacity)`, the shift used by the multiplicative hash.
+    shift: u32,
+}
+
+const INITIAL_CAPACITY: usize = 16;
+/// Grow when occupancy exceeds 7/8.
+const LOAD_NUM: usize = 7;
+const LOAD_DEN: usize = 8;
+
+impl<V> HashTable<V> {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        HashTable {
+            slots: (0..INITIAL_CAPACITY).map(|_| None).collect(),
+            len: 0,
+            shift: 64 - INITIAL_CAPACITY.trailing_zeros(),
+        }
+    }
+
+    /// Creates an empty table sized for at least `capacity` entries without
+    /// rehashing.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = (capacity * LOAD_DEN / LOAD_NUM + 1)
+            .next_power_of_two()
+            .max(INITIAL_CAPACITY);
+        HashTable {
+            slots: (0..cap).map(|_| None).collect(),
+            len: 0,
+            shift: 64 - cap.trailing_zeros(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn mask(&self) -> usize {
+        self.capacity() - 1
+    }
+
+    fn find(&self, key: Key) -> Option<usize> {
+        let mask = self.mask();
+        let mut idx = hash(key, self.shift) & mask;
+        let mut dist = 0u32;
+        loop {
+            match &self.slots[idx] {
+                None => return None,
+                Some(slot) if slot.key == key => return Some(idx),
+                // Robin Hood invariant: if an occupant is closer to home
+                // than our probe distance, the key cannot be further along.
+                Some(slot) if slot.probe_len < dist => return None,
+                Some(_) => {
+                    idx = (idx + 1) & mask;
+                    dist += 1;
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.capacity() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            (0..new_cap).map(|_| None).collect(),
+        );
+        self.shift = 64 - new_cap.trailing_zeros();
+        self.len = 0;
+        for slot in old.into_iter().flatten() {
+            self.insert_internal(slot.key, slot.value);
+        }
+    }
+
+    fn insert_internal(&mut self, key: Key, value: V) -> Option<V> {
+        let mask = self.mask();
+        let mut idx = hash(key, self.shift) & mask;
+        let mut incoming = Slot {
+            key,
+            value,
+            probe_len: 0,
+        };
+        loop {
+            match &mut self.slots[idx] {
+                spot @ None => {
+                    *spot = Some(incoming);
+                    self.len += 1;
+                    return None;
+                }
+                Some(slot) if slot.key == incoming.key => {
+                    return Some(std::mem::replace(&mut slot.value, incoming.value));
+                }
+                Some(slot) => {
+                    // Robin Hood: the poorer entry (longer probe) keeps the
+                    // slot; the richer one moves on.
+                    if slot.probe_len < incoming.probe_len {
+                        std::mem::swap(slot, &mut incoming);
+                    }
+                    idx = (idx + 1) & mask;
+                    incoming.probe_len += 1;
+                }
+            }
+        }
+    }
+
+}
+
+impl<V> Default for HashTable<V> {
+    fn default() -> Self {
+        HashTable::new()
+    }
+}
+
+impl<V> KvStore<V> for HashTable<V> {
+    fn get(&self, key: Key) -> Option<&V> {
+        self.find(key).map(|i| {
+            &self.slots[i]
+                .as_ref()
+                .expect("found index must be occupied")
+                .value
+        })
+    }
+
+    fn get_mut(&mut self, key: Key) -> Option<&mut V> {
+        let idx = self.find(key)?;
+        Some(
+            &mut self.slots[idx]
+                .as_mut()
+                .expect("found index must be occupied")
+                .value,
+        )
+    }
+
+    fn put(&mut self, key: Key, value: V) -> Option<V> {
+        if (self.len + 1) * LOAD_DEN > self.capacity() * LOAD_NUM {
+            self.grow();
+        }
+        self.insert_internal(key, value)
+    }
+
+    fn remove(&mut self, key: Key) -> Option<V> {
+        let idx = self.find(key)?;
+        let removed = self.slots[idx].take().expect("found index must be occupied");
+        self.len -= 1;
+        // Backward-shift deletion keeps probe sequences tombstone-free.
+        let mask = self.mask();
+        let mut hole = idx;
+        let mut next = (idx + 1) & mask;
+        while let Some(slot) = &mut self.slots[next] {
+            if slot.probe_len == 0 {
+                break;
+            }
+            slot.probe_len -= 1;
+            self.slots[hole] = self.slots[next].take();
+            hole = next;
+            next = (next + 1) & mask;
+        }
+        Some(removed.value)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn for_each<'a>(&'a self, f: &mut dyn FnMut(Key, &'a V)) {
+        for slot in self.slots.iter().flatten() {
+            f(slot.key, &slot.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_update_remove() {
+        let mut t = HashTable::new();
+        assert_eq!(t.put(7, "seven"), None);
+        assert_eq!(t.get(7), Some(&"seven"));
+        assert_eq!(t.put(7, "SEVEN"), Some("seven"));
+        assert_eq!(t.remove(7), Some("SEVEN"));
+        assert_eq!(t.get(7), None);
+        assert_eq!(t.remove(7), None);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut t = HashTable::new();
+        for k in 0..10_000u64 {
+            t.put(k, k);
+        }
+        assert_eq!(t.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert_eq!(t.get(k), Some(&k), "key {k} lost during growth");
+        }
+    }
+
+    #[test]
+    fn with_capacity_avoids_rehash_for_that_many() {
+        let mut t = HashTable::with_capacity(1000);
+        let cap_before = t.capacity();
+        for k in 0..1000u64 {
+            t.put(k, ());
+        }
+        assert_eq!(t.capacity(), cap_before);
+    }
+
+    #[test]
+    fn backward_shift_preserves_other_keys() {
+        let mut t = HashTable::new();
+        for k in 0..64u64 {
+            t.put(k, k);
+        }
+        for k in (0..64u64).step_by(2) {
+            assert_eq!(t.remove(k), Some(k));
+        }
+        for k in (1..64u64).step_by(2) {
+            assert_eq!(t.get(k), Some(&k), "odd key {k} lost after deletions");
+        }
+        assert_eq!(t.len(), 32);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut t = HashTable::new();
+        t.put(1, vec![1]);
+        t.get_mut(1).unwrap().push(2);
+        assert_eq!(t.get(1), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn colliding_keys_coexist() {
+        // Keys differing only in high bits collide after the multiplicative
+        // shift for small tables; insert many to force long probe chains.
+        let mut t = HashTable::new();
+        let keys: Vec<u64> = (0..128).map(|i| i << 32).collect();
+        for &k in &keys {
+            t.put(k, k);
+        }
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(&k));
+        }
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let mut t = HashTable::new();
+        for k in 0..50u64 {
+            t.put(k, k);
+        }
+        let mut seen = vec![false; 50];
+        t.for_each(&mut |k, _| seen[k as usize] = true);
+        assert!(seen.iter().all(|&s| s));
+    }
+}

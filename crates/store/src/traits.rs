@@ -1,0 +1,80 @@
+//! The common interface of all key-value backends.
+
+/// Key type used throughout the DDP stack.
+///
+/// Keys are 64-bit identifiers; the workload generator draws them from a
+/// Zipfian distribution and the protocol engine maps them to memory
+/// addresses. Applications with string keys hash them to a `Key` first.
+pub type Key = u64;
+
+/// A key-value store backend.
+///
+/// The paper evaluates memcached plus simpler in-memory stores (HashTable,
+/// Map, B-Tree, B+Tree) under every DDP model; all of them implement this
+/// trait so the replication engine is store-agnostic.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_store::{HashTable, KvStore};
+///
+/// let mut store = HashTable::new();
+/// assert_eq!(store.put(1, "a"), None);
+/// assert_eq!(store.put(1, "b"), Some("a"));
+/// assert_eq!(store.get(1), Some(&"b"));
+/// assert_eq!(store.remove(1), Some("b"));
+/// assert!(store.is_empty());
+/// ```
+pub trait KvStore<V> {
+    /// Returns a reference to the value for `key`, if present.
+    fn get(&self, key: Key) -> Option<&V>;
+
+    /// Returns a mutable reference to the value for `key`, if present.
+    fn get_mut(&mut self, key: Key) -> Option<&mut V>;
+
+    /// Inserts `value` for `key`, returning the previous value if any.
+    fn put(&mut self, key: Key, value: V) -> Option<V>;
+
+    /// Removes `key`, returning its value if present.
+    fn remove(&mut self, key: Key) -> Option<V>;
+
+    /// Number of keys stored.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the store holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `key` is present.
+    fn contains(&self, key: Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Visits every entry in unspecified (but deterministic) order.
+    fn for_each<'a>(&'a self, f: &mut dyn FnMut(Key, &'a V));
+}
+
+/// A store whose keys iterate in ascending order (Map, B-Tree, B+Tree).
+pub trait OrderedKvStore<V>: KvStore<V> {
+    /// Visits every entry in ascending key order.
+    fn for_each_in_order<'a>(&'a self, f: &mut dyn FnMut(Key, &'a V));
+
+    /// Returns the entries with keys in `[lo, hi]`, in ascending order.
+    fn range_inclusive(&self, lo: Key, hi: Key) -> Vec<(Key, &V)> {
+        let mut out = Vec::new();
+        self.for_each_in_order(&mut |k, v| {
+            if k >= lo && k <= hi {
+                out.push((k, v));
+            }
+        });
+        out
+    }
+
+    /// All keys in ascending order.
+    fn keys_in_order(&self) -> Vec<Key> {
+        let mut out = Vec::new();
+        self.for_each_in_order(&mut |k, _| out.push(k));
+        out
+    }
+}

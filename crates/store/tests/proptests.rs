@@ -1,0 +1,139 @@
+//! Property tests: every store backend must behave like the standard
+//! library maps under arbitrary operation sequences.
+
+use std::collections::BTreeMap;
+
+use ddp_store::{AvlMap, BPlusTree, BTree, HashTable, KvStore, OrderedKvStore, SlabCache};
+use proptest::prelude::*;
+
+/// An operation in a randomized store workout.
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key universe maximizes collisions and structural churn.
+    let key = 0u64..200;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        key.clone().prop_map(Op::Remove),
+        key.prop_map(Op::Get),
+    ]
+}
+
+fn check_against_model<S: KvStore<u64>>(store: &mut S, ops: &[Op]) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Put(k, v) => assert_eq!(store.put(k, v), model.insert(k, v)),
+            Op::Remove(k) => assert_eq!(store.remove(k), model.remove(&k)),
+            Op::Get(k) => assert_eq!(store.get(k), model.get(&k)),
+        }
+        assert_eq!(store.len(), model.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hashtable_matches_model(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_against_model(&mut HashTable::new(), &ops);
+    }
+
+    #[test]
+    fn avlmap_matches_model(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_against_model(&mut AvlMap::new(), &ops);
+    }
+
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_against_model(&mut BTree::new(), &ops);
+    }
+
+    #[test]
+    fn bplustree_matches_model(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_against_model(&mut BPlusTree::new(), &ops);
+    }
+
+    #[test]
+    fn ordered_stores_iterate_sorted(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut avl = AvlMap::new();
+        let mut bt = BTree::new();
+        let mut bpt = BPlusTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Put(k, v) => {
+                    avl.put(k, v);
+                    bt.put(k, v);
+                    bpt.put(k, v);
+                    model.insert(k, v);
+                }
+                Op::Remove(k) => {
+                    avl.remove(k);
+                    bt.remove(k);
+                    bpt.remove(k);
+                    model.remove(&k);
+                }
+                Op::Get(_) => {}
+            }
+        }
+        let expect: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(avl.keys_in_order(), expect.clone());
+        prop_assert_eq!(bt.keys_in_order(), expect.clone());
+        prop_assert_eq!(bpt.keys_in_order(), expect);
+    }
+
+    #[test]
+    fn slab_cache_never_exceeds_capacity(
+        puts in prop::collection::vec((0u64..100, 0usize..300), 1..200),
+        capacity_chunks in 2usize..20,
+    ) {
+        let capacity = capacity_chunks * 64;
+        let mut cache: SlabCache<Vec<u8>> = SlabCache::with_capacity_bytes(capacity);
+        for (k, size) in puts {
+            cache.put(k, vec![0u8; size]);
+            prop_assert!(cache.used_bytes() <= capacity.max(512),
+                "used {} over capacity {}", cache.used_bytes(), capacity);
+        }
+    }
+
+    #[test]
+    fn slab_cache_present_keys_read_back(
+        puts in prop::collection::vec((0u64..50, any::<u64>()), 1..100),
+    ) {
+        let mut cache: SlabCache<u64> = SlabCache::with_capacity_bytes(1 << 20);
+        let mut model = BTreeMap::new();
+        for (k, v) in puts {
+            cache.put(k, v);
+            model.insert(k, v);
+        }
+        // Capacity is ample, so nothing evicts: contents must match exactly.
+        for (k, v) in &model {
+            prop_assert_eq!(cache.get(*k), Some(v));
+        }
+        prop_assert_eq!(cache.len(), model.len());
+    }
+
+    #[test]
+    fn bplustree_scan_equals_model_range(
+        puts in prop::collection::vec((0u64..500, any::<u64>()), 1..200),
+        lo in 0u64..500,
+        width in 0u64..100,
+    ) {
+        let mut t = BPlusTree::new();
+        let mut model = BTreeMap::new();
+        for (k, v) in puts {
+            t.put(k, v);
+            model.insert(k, v);
+        }
+        let hi = lo + width;
+        let got: Vec<(u64, u64)> = t.scan(lo, hi).into_iter().map(|(k, v)| (k, *v)).collect();
+        let expect: Vec<(u64, u64)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,112 @@
+//! Determinism and cross-cutting property tests over the full stack.
+
+use ddp_core::{ClusterConfig, Consistency, DdpModel, Persistency, Simulation};
+use proptest::prelude::*;
+
+fn model_from(c_idx: usize, p_idx: usize) -> DdpModel {
+    DdpModel::new(Consistency::ALL[c_idx], Persistency::ALL[p_idx])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any model, any seed, any (small) client count: the run terminates and
+    /// produces sane statistics.
+    #[test]
+    fn any_configuration_terminates(
+        c_idx in 0usize..5,
+        p_idx in 0usize..5,
+        seed in 0u64..1_000,
+        clients in 2u32..30,
+    ) {
+        let mut cfg = ClusterConfig::micro21(model_from(c_idx, p_idx))
+            .with_seed(seed)
+            .with_clients(clients);
+        cfg.warmup_requests = 20;
+        cfg.measured_requests = 300;
+        let mut sim = Simulation::new(cfg);
+        let report = sim.run();
+        prop_assert!(report.summary.throughput > 0.0);
+        let stats = sim.cluster().stats();
+        prop_assert_eq!(
+            stats.reads_completed + stats.writes_completed,
+            300,
+            "measured-request accounting drifted"
+        );
+        prop_assert!(stats.read_latency.count() == stats.reads_completed);
+        prop_assert!(stats.write_latency.count() == stats.writes_completed);
+    }
+
+    /// Bit-for-bit reproducibility for arbitrary seeds and models.
+    #[test]
+    fn same_seed_same_everything(
+        c_idx in 0usize..5,
+        p_idx in 0usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let make = || {
+            let mut cfg = ClusterConfig::micro21(model_from(c_idx, p_idx)).with_seed(seed);
+            cfg.warmup_requests = 20;
+            cfg.measured_requests = 200;
+            let mut sim = Simulation::new(cfg);
+            let summary = sim.run().summary;
+            let bytes = sim.cluster().stats().network_bytes;
+            (summary, bytes)
+        };
+        let (a, ab) = make();
+        let (b, bb) = make();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ab, bb);
+    }
+
+    /// Version numbers returned by reads never exceed the number of writes
+    /// issued (a cheap global sanity invariant on the version allocator).
+    #[test]
+    fn read_versions_are_allocated_versions(seed in 0u64..500) {
+        let mut cfg = ClusterConfig::micro21(DdpModel::new(
+            Consistency::Eventual,
+            Persistency::Eventual,
+        ))
+        .with_seed(seed)
+        .with_observations();
+        cfg.warmup_requests = 0;
+        cfg.measured_requests = 400;
+        let mut sim = Simulation::new(cfg);
+        sim.run();
+        let log = sim.cluster().observations();
+        let max_written = log.writes.iter().map(|w| w.version).max().unwrap_or(0);
+        for r in &log.reads {
+            // A read may see a version the log hasn't recorded yet (its
+            // write is still unacknowledged), so bound loosely by the
+            // total writes issued plus in-flight margin.
+            prop_assert!(r.version <= max_written + 10_000);
+        }
+    }
+}
+
+#[test]
+fn observation_log_is_ordered_by_completion() {
+    let mut cfg = ClusterConfig::micro21(DdpModel::baseline()).with_observations();
+    cfg.warmup_requests = 0;
+    cfg.measured_requests = 1_000;
+    let mut sim = Simulation::new(cfg);
+    sim.run();
+    let log = sim.cluster().observations();
+    assert!(!log.reads.is_empty() && !log.writes.is_empty());
+    // Entries are appended when the protocol settles an operation, which may
+    // be a few hundred nanoseconds before the response timestamp; ordering
+    // therefore holds up to that small slack.
+    const SLACK_NS: u64 = 2_000;
+    assert!(
+        log.reads.windows(2).all(|w| {
+            w[1].completed_at.as_nanos() + SLACK_NS >= w[0].completed_at.as_nanos()
+        }),
+        "reads logged far out of completion order"
+    );
+    assert!(
+        log.writes.windows(2).all(|w| {
+            w[1].completed_at.as_nanos() + SLACK_NS >= w[0].completed_at.as_nanos()
+        }),
+        "writes logged far out of completion order"
+    );
+}

@@ -1,0 +1,124 @@
+//! Property tests over the substrate crates: the invariants the protocol
+//! engine silently relies on.
+
+use std::collections::BTreeMap;
+
+use ddp_mem::{AccessKind, BankedDevice, CacheHierarchy, MemoryParams};
+use ddp_net::{Fabric, NetworkParams, NodeId, RdmaKind};
+use ddp_sim::{Duration, EventQueue, Histogram, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue is a stable priority queue: time-ordered, FIFO at
+    /// equal times, regardless of push order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at.as_nanos(), t);
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "stability violated");
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Histogram percentiles are within the documented ~3% relative error
+    /// of the true quantiles for arbitrary sample sets.
+    #[test]
+    fn histogram_percentiles_track_true_quantiles(
+        mut samples in prop::collection::vec(1u64..10_000_000, 10..500),
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Duration::from_nanos(s));
+        }
+        samples.sort_unstable();
+        for q in [0.5f64, 0.95] {
+            let idx = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len()) - 1;
+            let truth = samples[idx] as f64;
+            let approx = h.percentile(q).as_nanos() as f64;
+            let err = (approx - truth).abs() / truth;
+            prop_assert!(err < 0.05, "q={q}: approx {approx} vs true {truth} (err {err:.3})");
+        }
+    }
+
+    /// The banked device never completes a request before its service time,
+    /// and same-bank requests never overlap.
+    #[test]
+    fn banked_device_conserves_service_time(
+        addrs in prop::collection::vec(0u64..64, 1..100),
+    ) {
+        let params = MemoryParams::micro21().nvm;
+        let mut dev = BankedDevice::new(params);
+        let mut per_addr_last: BTreeMap<u64, SimTime> = BTreeMap::new();
+        for &a in &addrs {
+            let done = dev.submit(SimTime::ZERO, a << 6, 64, AccessKind::Write);
+            let min_service = params.write_latency + params.transfer_time(64);
+            prop_assert!(done.as_nanos() >= min_service.as_nanos());
+            // Same address = same bank: completions must strictly advance.
+            if let Some(prev) = per_addr_last.get(&a) {
+                prop_assert!(done > *prev, "same-bank requests overlapped");
+            }
+            per_addr_last.insert(a, done);
+        }
+    }
+
+    /// Per-(sender, receiver) message delivery is FIFO — the protocol
+    /// engine's causal and scope bookkeeping depend on it.
+    #[test]
+    fn fabric_is_fifo_per_pair(
+        sizes in prop::collection::vec(1u64..4096, 1..100),
+        gaps in prop::collection::vec(0u64..2_000, 1..100),
+    ) {
+        let mut fabric = Fabric::new(2, NetworkParams::micro21());
+        let mut now = SimTime::ZERO;
+        let mut last_arrival = SimTime::ZERO;
+        for (s, g) in sizes.iter().zip(&gaps) {
+            now = now + Duration::from_nanos(*g);
+            let d = fabric.unicast(now, NodeId(0), NodeId(1), *s, RdmaKind::Send);
+            prop_assert!(
+                d.arrival >= last_arrival,
+                "message reordering between a single pair"
+            );
+            last_arrival = d.arrival;
+        }
+    }
+
+    /// The cache hierarchy never reports a hit for a line it was never
+    /// given (validated against a set model).
+    #[test]
+    fn cache_reports_no_false_hits(addrs in prop::collection::vec(0u64..100_000, 1..300)) {
+        use std::collections::BTreeSet;
+        let mut caches = CacheHierarchy::new(&MemoryParams::micro21());
+        let mut seen_lines: BTreeSet<u64> = BTreeSet::new();
+        for &a in &addrs {
+            let addr = a << 3; // spread sub-line offsets
+            let (level, _) = caches.access(addr);
+            let line = addr >> 6;
+            if level != ddp_mem::HitLevel::Memory {
+                prop_assert!(
+                    seen_lines.contains(&line),
+                    "hit for never-touched line {line} at {level:?}"
+                );
+            }
+            seen_lines.insert(line);
+        }
+    }
+
+    /// RNG bounded generation is unbiased enough that every residue class
+    /// appears over a modest sample (smoke-level statistical check).
+    #[test]
+    fn rng_next_below_covers(seed in 0u64..10_000, bound in 2u64..32) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut seen = vec![false; bound as usize];
+        for _ in 0..(bound * 200) {
+            seen[rng.next_below(bound) as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "bound {bound}: some values never drawn");
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the whole stack assembled end to end.
+
+use ddp_core::{run_experiment, ClusterConfig, Consistency, DdpModel, Persistency};
+use ddp_mem::{MemoryController, MemoryParams};
+use ddp_net::{Fabric, NetworkParams, NodeId, RdmaKind};
+use ddp_sim::{Duration, SimTime};
+use ddp_store::{HashTable, KvStore, StoreKind};
+use ddp_workload::{ClientPool, WorkloadSpec};
+
+fn tiny(model: DdpModel) -> ClusterConfig {
+    let mut cfg = ClusterConfig::micro21(model);
+    cfg.warmup_requests = 100;
+    cfg.measured_requests = 1_500;
+    cfg
+}
+
+#[test]
+fn substrates_compose_manually() {
+    // Drive the memory, network, store, and workload substrates directly —
+    // the same path the protocol engine takes — and check the timing math
+    // lines up.
+    let mut mem = MemoryController::new(MemoryParams::micro21());
+    let mut fabric = Fabric::new(3, NetworkParams::micro21());
+    let mut store = HashTable::new();
+    let mut stream = WorkloadSpec::ycsb_a().stream(7);
+
+    let mut now = SimTime::ZERO;
+    for _ in 0..1_000 {
+        let req = stream.next_request();
+        let lat = mem.volatile_access(req.key << 6);
+        now = now + lat;
+        store.put(req.key, req.value_bytes);
+        let d = fabric.unicast(now, NodeId(0), NodeId(1), 64 + u64::from(req.value_bytes), RdmaKind::WriteVolatile);
+        assert!(d.arrival > now, "messages must take time");
+        let done = mem.persist(now, req.key << 6, u64::from(req.value_bytes));
+        assert!(done > now, "persists must take time");
+        now = now + Duration::from_nanos(100);
+    }
+    assert!(!store.is_empty());
+    assert!(fabric.nic(NodeId(0)).sent_count() == 1_000);
+}
+
+#[test]
+fn client_pool_feeds_cluster_sizes() {
+    let pool = ClientPool::new(&WorkloadSpec::ycsb_a(), 100, 5, 1);
+    assert_eq!(pool.len(), 100);
+    for node in 0..5u8 {
+        assert_eq!(
+            pool.clients().filter(|c| c.home_node() == node).count(),
+            20,
+            "paper default: 20 clients per server"
+        );
+    }
+}
+
+#[test]
+fn end_to_end_runs_on_every_store_backend() {
+    for kind in StoreKind::ALL {
+        let model = DdpModel::new(Consistency::Causal, Persistency::Synchronous);
+        let report = run_experiment(tiny(model).with_store(kind));
+        assert!(report.summary.throughput > 0.0, "backend {kind}");
+    }
+}
+
+#[test]
+fn paper_headline_orderings_hold_end_to_end() {
+    // The one-line summary of Figure 6a: strictest slowest, most relaxed
+    // fastest, causal in between.
+    let lin = run_experiment(tiny(DdpModel::baseline())).summary.throughput;
+    let causal = run_experiment(tiny(DdpModel::new(
+        Consistency::Causal,
+        Persistency::Synchronous,
+    )))
+    .summary
+    .throughput;
+    let ev = run_experiment(tiny(DdpModel::new(
+        Consistency::Eventual,
+        Persistency::Eventual,
+    )))
+    .summary
+    .throughput;
+    assert!(lin < causal, "lin {lin} !< causal {causal}");
+    assert!(causal < ev, "causal {causal} !< eventual {ev}");
+}
+
+#[test]
+fn rtt_sweep_hits_linearizable_hardest() {
+    // Figure 8: network latency matters for Linearizable, not for Causal.
+    let rtts = [Duration::from_nanos(500), Duration::from_micros(2)];
+    let lin: Vec<f64> = rtts
+        .iter()
+        .map(|&rtt| {
+            run_experiment(tiny(DdpModel::baseline()).with_round_trip(rtt))
+                .summary
+                .throughput
+        })
+        .collect();
+    let causal: Vec<f64> = rtts
+        .iter()
+        .map(|&rtt| {
+            run_experiment(
+                tiny(DdpModel::new(Consistency::Causal, Persistency::Synchronous))
+                    .with_round_trip(rtt),
+            )
+            .summary
+            .throughput
+        })
+        .collect();
+    let lin_drop = 1.0 - lin[1] / lin[0];
+    let causal_drop = 1.0 - causal[1] / causal[0];
+    assert!(
+        lin_drop > causal_drop,
+        "lin drop {lin_drop:.3} should exceed causal drop {causal_drop:.3}"
+    );
+    assert!(
+        causal_drop.abs() < 0.10,
+        "causal should be nearly RTT-insensitive, dropped {causal_drop:.3}"
+    );
+}
+
+#[test]
+fn client_sweep_leaves_causal_unmoved() {
+    // Figure 7: Causal+Synchronous is largely unaffected by client count.
+    let per_client = |model: DdpModel, clients: u32| {
+        run_experiment(tiny(model).with_clients(clients))
+            .summary
+            .throughput
+            / f64::from(clients)
+    };
+    let causal = DdpModel::new(Consistency::Causal, Persistency::Synchronous);
+    let c10 = per_client(causal, 10);
+    let c100 = per_client(causal, 100);
+    // Per-client service rate barely moves for causal.
+    let shift = (c10 / c100 - 1.0).abs();
+    assert!(
+        shift < 0.35,
+        "causal per-client throughput moved {shift:.2} between 10 and 100 clients"
+    );
+}
