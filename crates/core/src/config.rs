@@ -8,6 +8,145 @@ use ddp_workload::WorkloadSpec;
 
 use crate::model::DdpModel;
 
+/// One scheduled node failure: the node crashes `at` into the run (losing
+/// all volatile state, keeping its NVM image) and rejoins `down_for` later
+/// through the catch-up path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Which node dies (zero-based, must be `< nodes`).
+    pub node: u8,
+    /// Simulated time into the run at which the node crashes.
+    pub at: Duration,
+    /// How long the node stays down before rejoining.
+    pub down_for: Duration,
+}
+
+/// A deterministic, reproducible fault-injection plan for one run.
+///
+/// Faults are strictly opt-in: the default plan is inert and leaves every
+/// simulation bit-identical to one that predates fault injection. When any
+/// fault is enabled, the protocol additionally arms its robustness
+/// machinery (ACK timeouts with bounded exponential-backoff retransmission,
+/// duplicate suppression, client operation timeouts, transient-state
+/// leases), all driven by seeded RNG streams so two runs with the same plan
+/// replay the same fault sequence.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_core::FaultPlan;
+/// use ddp_sim::Duration;
+///
+/// assert!(!FaultPlan::none().active());
+///
+/// let mut plan = FaultPlan::none();
+/// plan.drop_prob = 0.01;
+/// plan.crashes.push(ddp_core::CrashEvent {
+///     node: 2,
+///     at: Duration::from_micros(50),
+///     down_for: Duration::from_micros(30),
+/// });
+/// assert!(plan.active() && plan.lossy());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability the fabric silently drops a message.
+    pub drop_prob: f64,
+    /// Probability the fabric delivers a message twice.
+    pub dup_prob: f64,
+    /// Maximum extra fabric delay per message (uniform in `[0, max_jitter]`).
+    pub max_jitter: Duration,
+    /// Scheduled node crash/rejoin events.
+    pub crashes: Vec<CrashEvent>,
+    /// Base coordinator-side ACK timeout before a round is retransmitted;
+    /// doubles per attempt (exponential backoff).
+    pub ack_timeout: Duration,
+    /// Maximum retransmission attempts per protocol round.
+    pub max_retransmits: u32,
+    /// Client-level operation timeout: the liveness net of last resort. An
+    /// operation making no progress for this long is abandoned and its
+    /// client re-issues.
+    pub op_timeout: Duration,
+    /// How long a follower holds a key transient (INV seen, VAL missing)
+    /// before unilaterally clearing it — bounds read stalls when a VAL is
+    /// lost beyond the retransmission budget or its coordinator died.
+    pub transient_timeout: Duration,
+    /// Seed for the fault RNG streams, mixed with the run seed.
+    pub fault_seed: u64,
+}
+
+impl FaultPlan {
+    /// The inert plan: no loss, no crashes, no protocol changes.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            max_jitter: Duration::ZERO,
+            crashes: Vec::new(),
+            ack_timeout: Duration::from_micros(20),
+            max_retransmits: 3,
+            op_timeout: Duration::from_millis(1),
+            transient_timeout: Duration::from_micros(100),
+            fault_seed: 0xFA017,
+        }
+    }
+
+    /// True if the fabric can drop, duplicate, or delay messages.
+    #[must_use]
+    pub fn lossy(&self) -> bool {
+        self.drop_prob > 0.0 || self.dup_prob > 0.0 || self.max_jitter > Duration::ZERO
+    }
+
+    /// True if any fault is enabled; arms the protocol robustness machinery.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.lossy() || !self.crashes.is_empty()
+    }
+
+    /// Validates the plan against a cluster of `nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self, nodes: u8) -> Result<(), String> {
+        for (name, p) in [("drop_prob", self.drop_prob), ("dup_prob", self.dup_prob)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be within [0, 1], got {p}"));
+            }
+        }
+        for c in &self.crashes {
+            if c.node >= nodes {
+                return Err(format!("crash event names node {} but cluster has {nodes}", c.node));
+            }
+            if c.down_for == Duration::ZERO {
+                return Err("crash down_for must be positive (permanent crashes unsupported)".into());
+            }
+        }
+        if self.active() {
+            if self.ack_timeout == Duration::ZERO {
+                return Err("ack_timeout must be positive when faults are active".into());
+            }
+            if self.max_retransmits > 16 {
+                return Err("max_retransmits > 16 overflows the backoff schedule".into());
+            }
+            if self.op_timeout <= self.ack_timeout {
+                return Err("op_timeout must exceed ack_timeout".into());
+            }
+            if self.transient_timeout == Duration::ZERO {
+                return Err("transient_timeout must be positive when faults are active".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
 /// Full configuration of one simulated experiment.
 ///
 /// Defaults reproduce the paper's setup: 5 servers, 20 clients per server
@@ -71,6 +210,8 @@ pub struct ClusterConfig {
     /// consistency/durability checkers. Off by default: the log grows with
     /// the run length.
     pub record_observations: bool,
+    /// Fault-injection plan; inert by default.
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -97,6 +238,7 @@ impl ClusterConfig {
             warmup_requests: 2_000,
             measured_requests: 20_000,
             record_observations: false,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -150,6 +292,29 @@ impl ClusterConfig {
         self
     }
 
+    /// Installs a full fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables fabric message loss (and an equal duplication rate, which
+    /// stresses the same retransmission machinery from the other side).
+    #[must_use]
+    pub fn with_loss(mut self, drop_prob: f64) -> Self {
+        self.faults.drop_prob = drop_prob;
+        self.faults.dup_prob = drop_prob;
+        self
+    }
+
+    /// Schedules a node crash `at` into the run, rejoining `down_for` later.
+    #[must_use]
+    pub fn with_crash(mut self, node: u8, at: Duration, down_for: Duration) -> Self {
+        self.faults.crashes.push(CrashEvent { node, at, down_for });
+        self
+    }
+
     /// Validates internal consistency of the configuration.
     ///
     /// # Errors
@@ -170,6 +335,10 @@ impl ClusterConfig {
         }
         if self.measured_requests == 0 {
             return Err("measured_requests must be positive".into());
+        }
+        self.faults.validate(self.nodes)?;
+        if self.faults.active() && self.nodes > 64 {
+            return Err("fault injection supports at most 64 nodes (ACK bitmasks)".into());
         }
         Ok(())
     }
@@ -211,5 +380,40 @@ mod tests {
         let mut cfg = ClusterConfig::micro21(DdpModel::baseline());
         cfg.txn_size = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_is_inert_by_default() {
+        let cfg = ClusterConfig::micro21(DdpModel::baseline());
+        assert!(!cfg.faults.active());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_builders_compose() {
+        let cfg = ClusterConfig::micro21(DdpModel::baseline())
+            .with_loss(0.01)
+            .with_crash(2, Duration::from_micros(50), Duration::from_micros(30));
+        assert!(cfg.faults.lossy() && cfg.faults.active());
+        assert_eq!(cfg.faults.crashes.len(), 1);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_validation_rejects_bad_plans() {
+        let bad_prob = ClusterConfig::micro21(DdpModel::baseline()).with_loss(1.5);
+        assert!(bad_prob.validate().is_err());
+
+        let bad_node =
+            ClusterConfig::micro21(DdpModel::baseline()).with_crash(9, Duration::from_micros(1), Duration::from_micros(1));
+        assert!(bad_node.validate().is_err());
+
+        let permanent =
+            ClusterConfig::micro21(DdpModel::baseline()).with_crash(0, Duration::from_micros(1), Duration::ZERO);
+        assert!(permanent.validate().is_err());
+
+        let mut bad_timeout = ClusterConfig::micro21(DdpModel::baseline()).with_loss(0.1);
+        bad_timeout.faults.op_timeout = Duration::from_nanos(1);
+        assert!(bad_timeout.validate().is_err());
     }
 }

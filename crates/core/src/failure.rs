@@ -13,30 +13,36 @@ use ddp_store::Key;
 
 use crate::protocol::Cluster;
 
-/// The NVM image of one node: the highest durable version per key.
+/// One node's per-key version image.
+///
+/// In [`ClusterSnapshot::nvm`] this is the NVM image — the highest
+/// *durable* version per key. In [`ClusterSnapshot::volatile`] the same
+/// structure records the highest *visible* version instead (the state the
+/// crash destroys). The field is therefore named for what it holds — a
+/// version map — not for either role.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NodeImage {
-    /// Per-key persisted version (absent = never persisted).
-    pub persisted: BTreeMap<Key, u64>,
+    /// Per-key version (absent = no state for that key).
+    pub versions: BTreeMap<Key, u64>,
 }
 
 impl NodeImage {
-    /// The persisted version of `key`, or 0 if none.
+    /// The recorded version of `key`, or 0 if none.
     #[must_use]
     pub fn version_of(&self, key: Key) -> u64 {
-        self.persisted.get(&key).copied().unwrap_or(0)
+        self.versions.get(&key).copied().unwrap_or(0)
     }
 
-    /// Number of keys with durable state.
+    /// Number of keys with recorded state.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.persisted.len()
+        self.versions.len()
     }
 
-    /// True if nothing was persisted.
+    /// True if the image records nothing.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.persisted.is_empty()
+        self.versions.is_empty()
     }
 }
 
@@ -65,7 +71,7 @@ impl ClusterSnapshot {
             .nvm
             .iter()
             .chain(self.volatile.iter())
-            .flat_map(|img| img.persisted.keys().copied())
+            .flat_map(|img| img.versions.keys().copied())
             .collect();
         keys.sort_unstable();
         keys.dedup();
@@ -111,10 +117,10 @@ pub fn crash_snapshot(cluster: &Cluster) -> ClusterSnapshot {
         let mut seen = NodeImage::default();
         store.for_each(&mut |key, st| {
             if st.local_persisted > 0 {
-                durable.persisted.insert(key, st.local_persisted);
+                durable.versions.insert(key, st.local_persisted);
             }
             if st.visible > 0 {
-                seen.persisted.insert(key, st.visible);
+                seen.versions.insert(key, st.visible);
             }
         });
         nvm.push(durable);
@@ -129,7 +135,7 @@ mod tests {
 
     fn image(pairs: &[(Key, u64)]) -> NodeImage {
         NodeImage {
-            persisted: pairs.iter().copied().collect(),
+            versions: pairs.iter().copied().collect(),
         }
     }
 

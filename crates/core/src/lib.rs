@@ -64,7 +64,7 @@ pub mod traits_table;
 
 pub use cauhist::VectorClock;
 pub use checker::{CheckOutcome, HistoryChecker};
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, CrashEvent, FaultPlan};
 pub use failure::{crash_snapshot, ClusterSnapshot, NodeImage};
 pub use message::{Message, ScopeId, TxnId, WriteId};
 pub use model::{Consistency, DdpModel, Persistency};

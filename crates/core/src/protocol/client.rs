@@ -18,10 +18,23 @@ impl Cluster {
         NodeId(self.clients.clients().nth(client.index()).map_or(0, |c| c.home_node()))
     }
 
-    /// Handles a client being ready to issue its next request.
-    pub(crate) fn on_issue(&mut self, ctx: &mut Context<'_, Event>, client: ClientId) {
-        if self.done {
+    /// Handles a client being ready to issue its next request. `token` is
+    /// the progress token the event was scheduled with: a stale token means
+    /// the operation timeout already moved the client on, and this issue
+    /// path must die so the client does not fork into two loops.
+    pub(crate) fn on_issue(&mut self, ctx: &mut Context<'_, Event>, client: ClientId, token: u64) {
+        if self.done || token != self.cstate[client.index()].op_token {
             return;
+        }
+        if self.faults_active {
+            // A dead home node cannot coordinate anything: park the client
+            // and probe again, rather than timing out request by request.
+            if self.is_down(self.home_of(client)) {
+                self.clients.client_mut(client).note_deferred();
+                ctx.schedule_in(self.cfg.faults.op_timeout, Event::Issue(client, token));
+                return;
+            }
+            ctx.schedule_in(self.cfg.faults.op_timeout, Event::OpTimeout { client, token });
         }
         // Scope persistency: after `scope_size` requests, the client issues a
         // Persist call for the scope before continuing (paper §7: scopes are
@@ -91,6 +104,7 @@ impl Cluster {
                 issued_at,
                 txn,
                 scope,
+                token: self.cstate[client.index()].op_token,
             },
         );
     }
@@ -203,6 +217,9 @@ impl Cluster {
         };
         // Carry the buffer gauge's current level across the reset.
         fresh.causal_buffered.set(now, self.stats.causal_buffered.current());
+        // The fault trace describes the whole run, not the window.
+        fresh.crashes = std::mem::take(&mut self.stats.crashes);
+        fresh.rejoins = std::mem::take(&mut self.stats.rejoins);
         self.stats = fresh;
         self.update_buffer_gauge(now);
     }
@@ -219,7 +236,14 @@ impl Cluster {
         }
         let think = self.clients.client_mut(client).think();
         let at = not_before.max(ctx.now()) + think;
-        ctx.schedule_at(at, Event::Issue(client));
+        // Advancing the token here retires any operation timeout armed for
+        // the request that just completed.
+        let token = {
+            let cr = &mut self.cstate[client.index()];
+            cr.op_token = cr.op_token.wrapping_add(1);
+            cr.op_token
+        };
+        ctx.schedule_at(at, Event::Issue(client, token));
         self.clients.client_mut(client).complete_one();
     }
 }

@@ -42,9 +42,9 @@ impl Cluster {
                     scope,
                 },
             ),
-            Message::Ack { write, .. } => self.on_ack(ctx, node, write, false, true),
-            Message::AckC { write, .. } => self.on_ack(ctx, node, write, false, false),
-            Message::AckP { write, .. } => self.on_ack(ctx, node, write, true, false),
+            Message::Ack { write, from } => self.on_ack(ctx, node, write, from, false, true),
+            Message::AckC { write, from } => self.on_ack(ctx, node, write, from, false, false),
+            Message::AckP { write, from } => self.on_ack(ctx, node, write, from, true, false),
             Message::Val { write, key, version } => self.on_val(ctx, node, write, key, version, true, true),
             Message::ValC { write, key, version } => {
                 self.on_val(ctx, node, write, key, version, true, false);
@@ -54,10 +54,10 @@ impl Cluster {
             }
             Message::InitX { txn } => self.on_initx(ctx, node, txn),
             Message::EndX { txn, writes } => self.on_endx(ctx, node, txn, writes),
-            Message::AckX { txn, begin, .. } => self.on_ackx(ctx, node, txn, begin),
+            Message::AckX { txn, begin, from } => self.on_ackx(ctx, node, txn, begin, from),
             Message::ValX { txn } => self.on_valx(ctx, node, txn),
             Message::Persist { scope } => self.on_persist_msg(ctx, node, scope),
-            Message::AckScope { scope, .. } => self.on_ack_scope(ctx, node, scope),
+            Message::AckScope { scope, from } => self.on_ack_scope(ctx, node, scope, from),
             Message::ValScope { scope } => self.on_val_scope(ctx, node, scope),
         }
     }
@@ -76,6 +76,17 @@ impl Cluster {
         scope: Option<ScopeId>,
         txn: Option<crate::message::TxnId>,
     ) {
+        // Retransmitted INV: the apply is not repeated (it would re-arm
+        // transient state a VAL may already have cleared); the follower
+        // only re-acknowledges, in case the original ACK was lost.
+        if self.faults_active && !self.nodes[node.index()].seen_invs.insert(write) {
+            if self.measuring {
+                self.stats.duplicates_suppressed += 1;
+            }
+            self.re_ack_inv(ctx, node, write, key, version, txn.is_some());
+            return;
+        }
+
         let n = &mut self.nodes[node.index()];
         n.mem.ddio_inject(Self::addr(key));
         let st = n.store.state_mut(key);
@@ -86,9 +97,14 @@ impl Cluster {
         }
         // Hermes transient state: reads stall until the VAL under
         // Linearizable/Read-Enforced consistency. Transactional reads don't.
+        let mut lease = false;
         if self.cons != Consistency::Transactional && version >= st.inflight_version {
             st.inflight = Some(write);
             st.inflight_version = version;
+            lease = true;
+        }
+        if lease {
+            self.schedule_transient_lease(ctx, node, key, write, version);
         }
 
         if let Some(txn_id) = txn {
@@ -96,6 +112,7 @@ impl Cluster {
             return;
         }
 
+        let epoch = self.node_epoch[node.index()];
         match self.pers {
             Persistency::Synchronous | Persistency::Strict => {
                 // Persist first; the combined ACK follows from the persist
@@ -116,6 +133,7 @@ impl Cluster {
                             key,
                             version,
                             purpose: PersistPurpose::FollowerInv { write, txn: None },
+                            epoch,
                         },
                     ),
                 );
@@ -139,6 +157,7 @@ impl Cluster {
                             key,
                             version,
                             purpose: PersistPurpose::FollowerInv { write, txn: None },
+                            epoch,
                         },
                     ),
                 );
@@ -168,9 +187,51 @@ impl Cluster {
                             key,
                             version,
                             bytes: value_bytes,
+                            epoch,
                         },
                     ),
                 );
+            }
+        }
+    }
+
+    /// Re-acknowledges a duplicate INV per the model's ACK discipline: the
+    /// coordinator is retransmitting, so the original ACK was likely lost.
+    /// Persist-gated ACKs are only re-sent once the version is durable here
+    /// (otherwise the original persist's completion will send them).
+    fn re_ack_inv(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        write: WriteId,
+        key: ddp_store::Key,
+        version: u64,
+        in_txn: bool,
+    ) {
+        let coord = write.coordinator;
+        let durable = self.nodes[node.index()].store.state(key).local_persisted >= version;
+        match self.pers {
+            Persistency::Strict => {
+                if durable {
+                    self.send(ctx, node, coord, Message::Ack { write, from: node }, ddp_net::RdmaKind::Send);
+                }
+            }
+            Persistency::Synchronous => {
+                if in_txn {
+                    // Transactional+Synchronous acks on volatile apply.
+                    self.send_ack_c(ctx, node, coord, write);
+                } else if durable {
+                    self.send(ctx, node, coord, Message::Ack { write, from: node }, ddp_net::RdmaKind::Send);
+                }
+            }
+            Persistency::ReadEnforced => {
+                self.send_ack_c(ctx, node, coord, write);
+                if durable {
+                    self.send(ctx, node, coord, Message::AckP { write, from: node }, ddp_net::RdmaKind::Send);
+                }
+            }
+            Persistency::Scope | Persistency::Eventual => {
+                self.send_ack_c(ctx, node, coord, write);
             }
         }
     }
@@ -206,6 +267,7 @@ impl Cluster {
     /// Applies one UPD to the volatile replica and schedules its persist.
     fn apply_upd(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, upd: BufferedUpd) {
         let origin = upd.write.coordinator;
+        let epoch = self.node_epoch[node.index()];
         let n = &mut self.nodes[node.index()];
         n.mem.ddio_inject(Self::addr(upd.key));
         let st = n.store.state_mut(upd.key);
@@ -267,6 +329,7 @@ impl Cluster {
                                 key: upd.key,
                                 version: upd.version,
                                 purpose,
+                                epoch,
                             },
                         ),
                     );
@@ -289,6 +352,7 @@ impl Cluster {
                             key: upd.key,
                             version: upd.version,
                             purpose: PersistPurpose::Lazy,
+                            epoch,
                         },
                     ),
                 );
@@ -315,6 +379,7 @@ impl Cluster {
                             key: upd.key,
                             version: upd.version,
                             bytes: upd.value_bytes,
+                            epoch,
                         },
                     ),
                 );
@@ -350,6 +415,7 @@ impl Cluster {
         ctx: &mut Context<'_, Event>,
         node: NodeId,
         write: WriteId,
+        from: NodeId,
         is_p: bool,
         _combined: bool,
     ) {
@@ -357,6 +423,19 @@ impl Cluster {
         let Some(pw) = self.nodes[node.index()].pending.get_mut(&write.seq) else {
             return;
         };
+        if self.faults_active {
+            // Per-follower bitmask: duplicated (fabric or retransmission)
+            // acknowledgments count once.
+            let bit = Self::follower_bit(from);
+            let mask = if is_p { &mut pw.acked_p } else { &mut pw.acked_c };
+            if *mask & bit != 0 {
+                if self.measuring {
+                    self.stats.duplicates_suppressed += 1;
+                }
+                return;
+            }
+            *mask |= bit;
+        }
         if is_p {
             pw.acks_p += 1;
         } else {
@@ -377,6 +456,10 @@ impl Cluster {
         _visible: bool,
         persisted: bool,
     ) {
+        if self.faults_active {
+            // The write is settled: forget its duplicate-suppression entry.
+            self.nodes[node.index()].seen_invs.remove(&write);
+        }
         let st = self.nodes[node.index()].store.state_mut(key);
         st.global_visible = st.global_visible.max(version);
         if persisted {

@@ -1,0 +1,669 @@
+//! Fault handling: retransmission, client operation timeouts, transient
+//! leases, and live node crash/rejoin.
+//!
+//! Everything here is armed only when the run's [`FaultPlan`] is active
+//! (`cfg.faults.active()`); fault-free runs never schedule any of these
+//! events, so their event streams are bit-identical to a build without
+//! fault injection.
+//!
+//! The machinery forms three nested liveness nets:
+//!
+//! 1. **Retransmission** — coordinators re-send INV/UPD and the INITX/ENDX
+//!    and scope-PERSIST round messages to followers whose ACK is overdue,
+//!    with exponential backoff up to `max_retransmits` attempts. Followers
+//!    deduplicate via [`NodeState::seen_invs`] and re-acknowledge; the
+//!    coordinator suppresses duplicate ACKs via per-round bitmasks.
+//! 2. **Transient leases** — a follower clears a key's Hermes transient
+//!    state (and lease-validates the overdue version) if the VAL has not
+//!    arrived after `transient_timeout`, bounding read stalls when a VAL
+//!    is lost beyond the retransmission budget or its coordinator died.
+//! 3. **Operation timeout** — a client whose operation makes no progress
+//!    for `op_timeout` abandons it wholesale (pending writes, queued
+//!    requests, transaction and scope rounds) and re-issues. This is the
+//!    net of last resort and also how clients survive a dead coordinator.
+//!
+//! [`FaultPlan`]: crate::config::FaultPlan
+//! [`NodeState::seen_invs`]: super::NodeState
+
+use std::collections::BTreeMap;
+
+use ddp_net::{NodeId, RdmaKind};
+use ddp_sim::{Context, SimTime};
+use ddp_store::Key;
+use ddp_workload::ClientId;
+
+use crate::failure::{ClusterSnapshot, NodeImage};
+use crate::message::{Message, ScopeId, WriteId};
+use crate::model::{Consistency, Persistency};
+use crate::recovery::{recover, RecoveryPolicy};
+
+use super::{ClientPhase, Cluster, Event, NodeState};
+
+impl Cluster {
+    /// The bitmask slot of one follower in a round's ACK masks.
+    pub(crate) fn follower_bit(node: NodeId) -> u64 {
+        1u64 << node.index()
+    }
+
+    /// True if `node` is currently crashed (always false without faults).
+    pub(crate) fn is_down(&self, node: NodeId) -> bool {
+        self.faults_active && !self.node_up[node.index()]
+    }
+
+    /// Pre-acknowledges currently-crashed followers in a fresh round's
+    /// masks, returning `(mask, pre_acks)`. Rounds started while a node is
+    /// down must complete on the surviving quorum.
+    pub(crate) fn down_mask(&self) -> (u64, u32) {
+        if !self.faults_active {
+            return (0, 0);
+        }
+        let mut mask = 0u64;
+        let mut count = 0u32;
+        for (i, up) in self.node_up.iter().enumerate() {
+            if !up {
+                mask |= 1u64 << i;
+                count += 1;
+            }
+        }
+        (mask, count)
+    }
+
+    // ------------------------------------------------------------------
+    // Client operation timeout.
+    // ------------------------------------------------------------------
+
+    /// The liveness net of last resort: the client made no progress since
+    /// the token was taken. Abandon everything it has in flight and
+    /// re-issue.
+    pub(crate) fn on_op_timeout(&mut self, ctx: &mut Context<'_, Event>, client: ClientId, token: u64) {
+        if !self.faults_active || self.cstate[client.index()].op_token != token {
+            return;
+        }
+        if self.measuring {
+            self.stats.client_timeouts += 1;
+        }
+        let home = self.home_of(client);
+
+        // Abandon this client's un-acknowledged pending writes and release
+        // the coordinator-side transients they hold.
+        let seqs: Vec<u64> = self.nodes[home.index()]
+            .pending
+            .iter()
+            .filter(|(_, pw)| pw.client == client && !pw.client_acked)
+            .map(|(&s, _)| s)
+            .collect();
+        for seq in seqs {
+            let (key, write) = {
+                let pw = self.nodes[home.index()]
+                    .pending
+                    .get_mut(&seq)
+                    .expect("collected above");
+                pw.abandoned = true;
+                (pw.key, pw.write)
+            };
+            let st = self.nodes[home.index()].store.state_mut(key);
+            if st.inflight == Some(write) {
+                st.inflight = None;
+            }
+            self.wake_reads(ctx, home, key);
+            self.pop_queued_write(ctx, home, key);
+        }
+
+        // Purge the client's queued work at its home node.
+        {
+            let n = &mut self.nodes[home.index()];
+            n.waiting_reads.retain(|_, waiters| {
+                waiters.retain(|w| w.client != client);
+                !waiters.is_empty()
+            });
+            n.waiting_writes.retain(|_, queue| {
+                queue.retain(|qw| qw.client != client);
+                !queue.is_empty()
+            });
+            n.txn_rounds.retain(|_, round| round.client != client);
+            n.scope_rounds.retain(|_, round| round.client != client);
+        }
+
+        // Tear down transaction state: the attempt is lost, a retry draws
+        // fresh requests.
+        if let Some(txn) = self.cstate[client.index()].txn.take() {
+            self.active_txns.remove(&(txn.coordinator.0, txn.seq));
+        }
+        let next_token = {
+            let cr = &mut self.cstate[client.index()];
+            cr.txn_requests.clear();
+            cr.txn_first_issue.clear();
+            cr.txn_index = 0;
+            cr.txn_buffer.clear();
+            cr.txn_writes.clear();
+            cr.wounded = false;
+            cr.group_conflicted = false;
+            cr.txn_group_started = SimTime::MAX;
+            cr.scope_counter += 1;
+            cr.scope_reqs = 0;
+            cr.phase = ClientPhase::Idle;
+            cr.op_token = cr.op_token.wrapping_add(1);
+            cr.op_token
+        };
+        ctx.schedule_in(self.cfg.faults.ack_timeout, Event::Issue(client, next_token));
+    }
+
+    // ------------------------------------------------------------------
+    // Retransmission.
+    // ------------------------------------------------------------------
+
+    /// Coordinator ACK timeout for one write: re-send its INV/UPD to the
+    /// live followers whose acknowledgment is still missing.
+    pub(crate) fn on_write_retry(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        home: NodeId,
+        seq: u64,
+        attempt: u32,
+    ) {
+        if !self.faults_active || self.is_down(home) || attempt > self.cfg.faults.max_retransmits {
+            return;
+        }
+        let (needs_c, needs_p) = self.write_ack_needs();
+        let Some(pw) = self.nodes[home.index()].pending.get(&seq) else {
+            return;
+        };
+        if pw.abandoned {
+            return;
+        }
+        let done_c = !needs_c || pw.acks >= pw.needed;
+        let done_p = !needs_p || pw.acks_p >= pw.needed;
+        if done_c && done_p {
+            return;
+        }
+        let (write, key, version, value_bytes, scope, txn, acked_c, acked_p) = (
+            pw.write,
+            pw.key,
+            pw.version,
+            pw.value_bytes,
+            pw.scope,
+            pw.txn,
+            pw.acked_c,
+            pw.acked_p,
+        );
+        let cauhist = pw.cauhist.clone();
+        let (msg, kind) = match self.cons {
+            Consistency::Linearizable | Consistency::ReadEnforced | Consistency::Transactional => (
+                Message::Inv {
+                    write,
+                    key,
+                    version,
+                    value_bytes,
+                    scope,
+                    txn,
+                },
+                if self.pers == Persistency::Strict {
+                    RdmaKind::WritePersistent
+                } else {
+                    RdmaKind::WriteVolatile
+                },
+            ),
+            Consistency::Causal | Consistency::Eventual => (
+                Message::Upd {
+                    write,
+                    key,
+                    version,
+                    value_bytes,
+                    cauhist,
+                    persist_on_arrival: self.pers == Persistency::Strict,
+                    scope,
+                },
+                RdmaKind::WritePersistent,
+            ),
+        };
+        let targets: Vec<NodeId> = (0..self.cfg.nodes)
+            .map(NodeId)
+            .filter(|&n| n != home && !self.is_down(n))
+            .filter(|&n| {
+                let bit = Self::follower_bit(n);
+                (needs_c && acked_c & bit == 0) || (needs_p && acked_p & bit == 0)
+            })
+            .collect();
+        for to in targets {
+            if self.measuring {
+                self.stats.retransmits += 1;
+            }
+            self.send(ctx, home, to, msg.clone(), kind);
+        }
+        self.schedule_write_retry(ctx, home, seq, attempt + 1);
+    }
+
+    /// Which acknowledgments gate this model's writes: `(combined/ACK_c,
+    /// ACK_p)`.
+    pub(crate) fn write_ack_needs(&self) -> (bool, bool) {
+        let inv = self.cons.uses_inv_ack_val();
+        let needs_p = (inv && self.pers == Persistency::ReadEnforced)
+            || (!inv && self.pers == Persistency::Strict);
+        (inv, needs_p)
+    }
+
+    /// Schedules the next ACK-timeout check for a write, with exponential
+    /// backoff (`ack_timeout << (attempt-1)`).
+    pub(crate) fn schedule_write_retry(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        home: NodeId,
+        seq: u64,
+        attempt: u32,
+    ) {
+        if attempt > self.cfg.faults.max_retransmits {
+            return;
+        }
+        let wait = self.cfg.faults.ack_timeout * (1u64 << (attempt - 1));
+        ctx.schedule_in(wait, Event::WriteRetry { node: home, seq, attempt });
+    }
+
+    /// Coordinator ACK timeout for an INITX/ENDX round.
+    pub(crate) fn on_txn_round_retry(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        home: NodeId,
+        seq: u64,
+        attempt: u32,
+    ) {
+        if !self.faults_active || self.is_down(home) || attempt > self.cfg.faults.max_retransmits {
+            return;
+        }
+        let Some(round) = self.nodes[home.index()].txn_rounds.get(&seq) else {
+            return;
+        };
+        if round.acks >= round.needed {
+            return;
+        }
+        let (txn, begin, writes, acked) = (round.txn, round.begin, round.writes, round.acked);
+        let msg = if begin {
+            Message::InitX { txn }
+        } else {
+            Message::EndX { txn, writes }
+        };
+        let targets: Vec<NodeId> = (0..self.cfg.nodes)
+            .map(NodeId)
+            .filter(|&n| n != home && !self.is_down(n) && acked & Self::follower_bit(n) == 0)
+            .collect();
+        for to in targets {
+            if self.measuring {
+                self.stats.retransmits += 1;
+            }
+            self.send(ctx, home, to, msg.clone(), RdmaKind::Send);
+        }
+        let wait = self.cfg.faults.ack_timeout * (1u64 << attempt.min(16));
+        ctx.schedule_in(
+            wait,
+            Event::TxnRoundRetry {
+                node: home,
+                seq,
+                attempt: attempt + 1,
+            },
+        );
+    }
+
+    /// Coordinator ACK timeout for a scope PERSIST round.
+    pub(crate) fn on_scope_retry(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        home: NodeId,
+        scope: ScopeId,
+        attempt: u32,
+    ) {
+        if !self.faults_active || self.is_down(home) || attempt > self.cfg.faults.max_retransmits {
+            return;
+        }
+        let Some(round) = self.nodes[home.index()].scope_rounds.get(&scope) else {
+            return;
+        };
+        if round.acks >= round.needed {
+            return;
+        }
+        let acked = round.acked;
+        let targets: Vec<NodeId> = (0..self.cfg.nodes)
+            .map(NodeId)
+            .filter(|&n| n != home && !self.is_down(n) && acked & Self::follower_bit(n) == 0)
+            .collect();
+        for to in targets {
+            if self.measuring {
+                self.stats.retransmits += 1;
+            }
+            self.send(ctx, home, to, Message::Persist { scope }, RdmaKind::RemoteFlush);
+        }
+        let wait = self.cfg.faults.ack_timeout * (1u64 << attempt.min(16));
+        ctx.schedule_in(
+            wait,
+            Event::ScopeRetry {
+                node: home,
+                scope,
+                attempt: attempt + 1,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Transient lease.
+    // ------------------------------------------------------------------
+
+    /// A key's transient lease expired: if its VAL never arrived, clear
+    /// the transient and lease-validate the overdue version so reads (and
+    /// queued writes) stop stalling on a message that is never coming.
+    pub(crate) fn on_transient_expire(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        key: Key,
+        write: WriteId,
+        version: u64,
+    ) {
+        if !self.faults_active || self.is_down(node) {
+            return;
+        }
+        let mut changed = false;
+        {
+            let st = self.nodes[node.index()].store.state_mut(key);
+            if st.inflight == Some(write) {
+                st.inflight = None;
+                changed = true;
+            }
+            // Lease-validation: treat the overdue version as validated so
+            // persist-gated reads make progress too. This fires long after
+            // any live VAL would have arrived.
+            if st.visible >= version {
+                if st.global_visible < version {
+                    st.global_visible = version;
+                    changed = true;
+                }
+                if st.global_persisted < version {
+                    st.global_persisted = version;
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            if self.measuring {
+                self.stats.transient_expirations += 1;
+            }
+            self.nodes[node.index()].seen_invs.remove(&write);
+            self.wake_reads(ctx, node, key);
+            if !self.nodes[node.index()].store.state(key).is_transient() {
+                self.pop_queued_write(ctx, node, key);
+            }
+        }
+    }
+
+    /// Schedules the transient lease for one just-applied INV (also used
+    /// for the coordinator's own transient).
+    pub(crate) fn schedule_transient_lease(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        key: Key,
+        write: WriteId,
+        version: u64,
+    ) {
+        if !self.faults_active {
+            return;
+        }
+        ctx.schedule_in(
+            self.cfg.faults.transient_timeout,
+            Event::TransientExpire {
+                node,
+                key,
+                write,
+                version,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Node crash and rejoin.
+    // ------------------------------------------------------------------
+
+    /// A node crashes: its volatile hierarchy (caches, DRAM, all protocol
+    /// state) is lost; its NVM image survives for the rejoin.
+    pub(crate) fn on_node_crash(&mut self, ctx: &mut Context<'_, Event>, node: NodeId) {
+        if !self.node_up[node.index()] {
+            return;
+        }
+        self.node_up[node.index()] = false;
+        self.node_epoch[node.index()] += 1;
+        self.stats.crashes.push((node.0, ctx.now()));
+
+        // Capture the NVM image: the per-key durable version, exactly what
+        // `crash_snapshot` would report for this node.
+        let mut image = NodeImage::default();
+        let mut bytes = BTreeMap::new();
+        self.nodes[node.index()].store.for_each(&mut |key, st| {
+            if st.local_persisted > 0 {
+                image.versions.insert(key, st.local_persisted);
+                bytes.insert(key, st.value_bytes);
+            }
+        });
+        self.nvm_images[node.index()] = Some(image);
+        self.nvm_bytes[node.index()] = bytes;
+
+        // Volatile wipe. `next_seq` survives (it is an identifier source,
+        // not state): a rejoined coordinator must not mint WriteIds that
+        // collide with its pre-crash writes still referenced by in-flight
+        // messages.
+        let next_seq = self.nodes[node.index()].next_seq;
+        let mut fresh = NodeState::new(node, &self.cfg);
+        fresh.next_seq = next_seq;
+        self.nodes[node.index()] = fresh;
+        self.update_buffer_gauge(ctx.now());
+
+        // Survivors drop transients coordinated by the dead node — the VAL
+        // that would clear them can never be sent.
+        let peers: Vec<NodeId> = (0..self.cfg.nodes)
+            .map(NodeId)
+            .filter(|&p| p != node && self.node_up[p.index()])
+            .collect();
+        for peer in &peers {
+            let mut stale: Vec<Key> = Vec::new();
+            self.nodes[peer.index()].store.for_each(&mut |key, st| {
+                if st.inflight.map(|w| w.coordinator) == Some(node) {
+                    stale.push(key);
+                }
+            });
+            for key in stale {
+                self.nodes[peer.index()].store.state_mut(key).inflight = None;
+                if self.measuring {
+                    self.stats.transient_expirations += 1;
+                }
+                self.wake_reads(ctx, *peer, key);
+                self.pop_queued_write(ctx, *peer, key);
+            }
+        }
+
+        // Pretend-ack the dead node in every live round: writes and rounds
+        // in flight complete on the surviving quorum.
+        self.absorb_crashed_follower(ctx, node);
+
+        // Transactions coordinated by the dead node release their conflict
+        // sets, and their clients are wounded: the crash destroyed the
+        // coordinator-side transaction state, so the attempt restarts from
+        // INITX once the node rejoins.
+        self.active_txns.retain(|&(coord, _), _| coord != node.0);
+        for cr in &mut self.cstate {
+            if cr.txn.is_some_and(|t| t.coordinator == node) {
+                cr.wounded = true;
+            }
+        }
+    }
+
+    /// Marks `crashed` as acknowledged in every live node's pending write,
+    /// transaction round, and scope round, then re-evaluates them.
+    fn absorb_crashed_follower(&mut self, ctx: &mut Context<'_, Event>, crashed: NodeId) {
+        let bit = Self::follower_bit(crashed);
+        let peers: Vec<NodeId> = (0..self.cfg.nodes)
+            .map(NodeId)
+            .filter(|&p| p != crashed && self.node_up[p.index()])
+            .collect();
+        for peer in peers {
+            let seqs: Vec<u64> = self.nodes[peer.index()]
+                .pending
+                .iter()
+                .filter(|(_, pw)| pw.acked_c & bit == 0 || pw.acked_p & bit == 0)
+                .map(|(&s, _)| s)
+                .collect();
+            for seq in seqs {
+                {
+                    let pw = self.nodes[peer.index()]
+                        .pending
+                        .get_mut(&seq)
+                        .expect("collected above");
+                    if pw.acked_c & bit == 0 {
+                        pw.acked_c |= bit;
+                        pw.acks += 1;
+                    }
+                    if pw.acked_p & bit == 0 {
+                        pw.acked_p |= bit;
+                        pw.acks_p += 1;
+                    }
+                }
+                self.try_progress_write(ctx, peer, seq);
+            }
+            let txn_seqs: Vec<u64> = self.nodes[peer.index()]
+                .txn_rounds
+                .iter()
+                .filter(|(_, r)| r.acked & bit == 0)
+                .map(|(&s, _)| s)
+                .collect();
+            for seq in txn_seqs {
+                {
+                    let r = self.nodes[peer.index()]
+                        .txn_rounds
+                        .get_mut(&seq)
+                        .expect("collected above");
+                    r.acked |= bit;
+                    r.acks += 1;
+                }
+                self.try_complete_txn_round(ctx, peer, seq);
+            }
+            let scope_ids: Vec<ScopeId> = self.nodes[peer.index()]
+                .scope_rounds
+                .iter()
+                .filter(|(_, r)| r.acked & bit == 0)
+                .map(|(&s, _)| s)
+                .collect();
+            for scope in scope_ids {
+                {
+                    let r = self.nodes[peer.index()]
+                        .scope_rounds
+                        .get_mut(&scope)
+                        .expect("collected above");
+                    r.acked |= bit;
+                    r.acks += 1;
+                }
+                self.try_complete_scope(ctx, peer, scope);
+            }
+        }
+    }
+
+    /// A crashed node rejoins: restore its NVM image, then catch up from
+    /// the live peers through the recovery machinery.
+    pub(crate) fn on_node_recover(&mut self, ctx: &mut Context<'_, Event>, node: NodeId) {
+        if self.node_up[node.index()] {
+            return;
+        }
+        self.node_up[node.index()] = true;
+        self.stats.rejoins.push((node.0, ctx.now()));
+
+        // Restore the NVM image: durable versions become visible again.
+        let image = self.nvm_images[node.index()].take().unwrap_or_default();
+        let own_bytes = std::mem::take(&mut self.nvm_bytes[node.index()]);
+        for (&key, &v) in &image.versions {
+            let st = self.nodes[node.index()].store.state_mut(key);
+            st.visible = v;
+            st.local_persisted = v;
+            st.value_bytes = own_bytes.get(&key).copied().unwrap_or(0);
+            st.visible_origin = node.0;
+        }
+
+        // Catch-up target per key: the newest version visible at any live
+        // peer. Every client-acknowledged write is visible at all live
+        // replicas, so this restores read monotonicity for clients homed
+        // here. `recover()` over the durable images gives the durable
+        // floor the catch-up also re-persists.
+        let peers: Vec<NodeId> = (0..self.cfg.nodes)
+            .map(NodeId)
+            .filter(|&p| p != node && self.node_up[p.index()])
+            .collect();
+        let mut snap = ClusterSnapshot {
+            nvm: Vec::new(),
+            volatile: Vec::new(),
+        };
+        // (version, bytes, origin, visible_seq) of the newest peer copy.
+        let mut targets: BTreeMap<Key, (u64, u32, u8, u64)> = BTreeMap::new();
+        let mut peer_vc: Vec<u64> = vec![0; self.cfg.nodes as usize];
+        for peer in &peers {
+            let mut durable = NodeImage::default();
+            let mut seen = NodeImage::default();
+            self.nodes[peer.index()].store.for_each(&mut |key, st| {
+                if st.local_persisted > 0 {
+                    durable.versions.insert(key, st.local_persisted);
+                }
+                if st.visible > 0 {
+                    seen.versions.insert(key, st.visible);
+                    let entry = targets.entry(key).or_insert((0, 0, 0, 0));
+                    if st.visible > entry.0 {
+                        *entry = (st.visible, st.value_bytes, st.visible_origin, st.visible_seq);
+                    }
+                }
+            });
+            snap.nvm.push(durable);
+            snap.volatile.push(seen);
+            for (i, vc) in peer_vc.iter_mut().enumerate() {
+                *vc = (*vc).max(self.nodes[peer.index()].applied_vc.get(i));
+            }
+        }
+        snap.nvm.push(image.clone());
+        snap.volatile.push(image);
+        let policy = if self.pers.persist_before_ack() {
+            RecoveryPolicy::MajorityVote
+        } else {
+            RecoveryPolicy::NewestAvailable
+        };
+        let recovered = recover(&snap, policy);
+
+        let keys: Vec<Key> = snap.all_keys();
+        let mut caught_up = 0u64;
+        for key in keys {
+            let durable_floor = recovered.version_of(key);
+            let (peer_v, peer_bytes, origin, vseq) =
+                targets.get(&key).copied().unwrap_or((0, 0, 0, 0));
+            let target = durable_floor.max(peer_v);
+            let st = self.nodes[node.index()].store.state_mut(key);
+            if target > st.visible {
+                st.visible = target;
+                if peer_v == target {
+                    st.value_bytes = peer_bytes;
+                    st.visible_origin = origin;
+                    st.visible_seq = vseq;
+                }
+                caught_up += 1;
+            }
+            // The catch-up streams straight into NVM, and the recovered
+            // state is treated as cluster-validated so reads here do not
+            // stall on VALs that predate the crash.
+            st.local_persisted = st.local_persisted.max(target);
+            st.global_visible = st.global_visible.max(target);
+            st.global_persisted = st.global_persisted.max(target);
+        }
+        if self.measuring {
+            self.stats.catchup_keys += caught_up;
+        }
+
+        // Causal catch-up: adopt the peers' delivered-history watermark so
+        // future UPDs are not buffered behind history this node will never
+        // re-receive.
+        if self.cons == Consistency::Causal {
+            for (i, &vc) in peer_vc.iter().enumerate() {
+                self.nodes[node.index()].applied_vc.set(i, vc);
+                self.nodes[node.index()].history_vc.set(i, vc);
+            }
+        }
+        self.update_buffer_gauge(ctx.now());
+    }
+}

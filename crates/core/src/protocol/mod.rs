@@ -20,16 +20,17 @@
 
 mod client;
 mod deliver;
+mod fault;
 mod persist;
 mod read;
 mod scope;
 mod txn;
 mod write;
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ddp_mem::MemoryController;
-use ddp_net::{Fabric, NodeId, RdmaKind};
+use ddp_net::{Fabric, FaultProfile, NodeId, RdmaKind};
 use ddp_sim::{Context, Duration, Engine, Model, SimTime};
 use ddp_store::Key;
 use ddp_workload::{ClientId, ClientPool, Request};
@@ -45,10 +46,15 @@ use crate::stats::{RunStats, RunSummary};
 ///
 /// Public because it is [`Cluster`]'s [`Model::Event`] type; library users
 /// normally drive runs through [`Simulation`] and never construct events.
+///
+/// Client-driving events carry a progress token: the client's reset path
+/// (operation timeout, crash of its coordinator) advances the token, so
+/// events from a superseded attempt are recognized and dropped instead of
+/// forking a second issue loop for the same client.
 #[derive(Debug)]
 pub enum Event {
     /// A client is ready to issue its next request.
-    Issue(ClientId),
+    Issue(ClientId, u64),
     /// A protocol message arrives at a node.
     Deliver(NodeId, Message),
     /// An NVM persist completes at a node.
@@ -58,7 +64,7 @@ pub enum Event {
     /// An Eventual-persistency node starts a background persist.
     LazyPersist(NodeId, LazyPersistCtx),
     /// A squashed transaction retries.
-    TxnRetry(ClientId),
+    TxnRetry(ClientId, u64),
     /// A request finishes worker admission and enters the protocol.
     ExecOp {
         /// The issuing client.
@@ -71,7 +77,62 @@ pub enum Event {
         txn: Option<TxnId>,
         /// Scope tag under Scope persistency.
         scope: Option<ScopeId>,
+        /// Client progress token at admission.
+        token: u64,
     },
+    /// Liveness net of last resort: a client operation made no progress for
+    /// the configured `op_timeout`; abandon it and re-issue.
+    OpTimeout {
+        /// The stuck client.
+        client: ClientId,
+        /// Token of the attempt being timed; stale if the client advanced.
+        token: u64,
+    },
+    /// Coordinator ACK timeout for one pending write: retransmit its
+    /// INV/UPD to the followers that have not acknowledged.
+    WriteRetry {
+        /// The coordinator.
+        node: NodeId,
+        /// Coordinator-local write sequence number.
+        seq: u64,
+        /// Retransmission attempt (1-based; backoff doubles per attempt).
+        attempt: u32,
+    },
+    /// Coordinator ACK timeout for an INITX/ENDX round.
+    TxnRoundRetry {
+        /// The transaction coordinator.
+        node: NodeId,
+        /// Transaction sequence (the `txn_rounds` key).
+        seq: u64,
+        /// Retransmission attempt.
+        attempt: u32,
+    },
+    /// Coordinator ACK timeout for a scope PERSIST round.
+    ScopeRetry {
+        /// The scope's coordinator.
+        node: NodeId,
+        /// The scope being persisted.
+        scope: ScopeId,
+        /// Retransmission attempt.
+        attempt: u32,
+    },
+    /// A follower's transient-state lease expired: if the key is still
+    /// blocked on a VAL that never arrived (lost beyond the retransmission
+    /// budget, or its coordinator died), unblock it.
+    TransientExpire {
+        /// The node holding the transient.
+        node: NodeId,
+        /// The affected key.
+        key: Key,
+        /// The write whose VAL is overdue.
+        write: WriteId,
+        /// The version that write installs.
+        version: u64,
+    },
+    /// A node crashes: volatile state is lost, its NVM image survives.
+    NodeCrash(NodeId),
+    /// A crashed node rejoins and catches up from its peers.
+    NodeRecover(NodeId),
 }
 
 /// What a completed persist was for.
@@ -104,6 +165,9 @@ pub struct PersistCtx {
     pub key: Key,
     pub version: u64,
     pub purpose: PersistPurpose,
+    /// Crash epoch of the node when the persist was issued; completions
+    /// from before a crash are stale and dropped.
+    pub epoch: u64,
 }
 
 /// Context for a deferred lazy persist start.
@@ -113,6 +177,8 @@ pub struct LazyPersistCtx {
     pub key: Key,
     pub version: u64,
     pub bytes: u32,
+    /// Crash epoch of the node when the lazy persist was scheduled.
+    pub epoch: u64,
 }
 
 /// Coordinator-side state of one in-flight write.
@@ -130,6 +196,11 @@ pub(crate) struct PendingWrite {
     pub acks: u32,
     /// ACK_p count (split-ack persistency models and Strict-over-UPD).
     pub acks_p: u32,
+    /// Bitmask of followers whose ACK/ACK_c arrived (fault mode only:
+    /// suppresses duplicate acknowledgments, drives retransmit targeting).
+    pub acked_c: u64,
+    /// Bitmask of followers whose ACK_p arrived (fault mode only).
+    pub acked_p: u64,
     /// Followers that must acknowledge.
     pub needed: u32,
     pub local_applied: bool,
@@ -141,6 +212,9 @@ pub(crate) struct PendingWrite {
     pub abandoned: bool,
     pub txn: Option<TxnId>,
     pub scope: Option<ScopeId>,
+    /// Causal history broadcast with the write, kept so a retransmitted UPD
+    /// carries the same history (fault mode only).
+    pub cauhist: Option<VectorClock>,
 }
 
 /// A read blocked on a visibility or durability condition.
@@ -212,10 +286,14 @@ pub(crate) struct PendingTxnRound {
     pub client: ClientId,
     pub begin: bool,
     pub acks: u32,
+    /// Bitmask of followers that acknowledged (fault mode only).
+    pub acked: u64,
     pub needed: u32,
     pub local_persisted: bool,
     /// Outstanding coordinator-local ENDX persists.
     pub local_persists_outstanding: u32,
+    /// Write count carried by ENDX, kept for retransmission.
+    pub writes: u32,
 }
 
 /// Coordinator-side state of a scope Persist call.
@@ -223,6 +301,8 @@ pub(crate) struct PendingTxnRound {
 pub(crate) struct PendingScopeRound {
     pub client: ClientId,
     pub acks: u32,
+    /// Bitmask of followers that acknowledged (fault mode only).
+    pub acked: u64,
     pub needed: u32,
     pub local_outstanding: u32,
     pub local_started: bool,
@@ -261,6 +341,9 @@ pub(crate) struct NodeState {
     pub scope_rounds: BTreeMap<ScopeId, PendingScopeRound>,
     /// Worker-core availability: when each core next frees up.
     pub workers: Vec<SimTime>,
+    /// INVs already applied at this follower (fault mode only): a
+    /// retransmitted or duplicated INV is re-acknowledged, not re-applied.
+    pub seen_invs: BTreeSet<WriteId>,
 }
 
 impl NodeState {
@@ -284,6 +367,7 @@ impl NodeState {
             txn_rounds: BTreeMap::new(),
             scope_rounds: BTreeMap::new(),
             workers: vec![SimTime::ZERO; cfg.memory.cores as usize],
+            seen_invs: BTreeSet::new(),
         }
     }
 }
@@ -328,6 +412,9 @@ pub(crate) struct ClientRun {
     pub txn_buffer: Vec<txn::TxnOpDone>,
     /// Coordinator-local transactional writes awaiting the ENDX persist.
     pub txn_writes: Vec<(Key, u64, u32)>,
+    /// Progress token: advanced on every successful issue hand-off and by
+    /// the timeout reset path, so superseded client events are dropped.
+    pub op_token: u64,
 }
 
 impl ClientRun {
@@ -346,6 +433,7 @@ impl ClientRun {
             group_conflicted: false,
             txn_buffer: Vec::new(),
             txn_writes: Vec::new(),
+            op_token: 0,
         }
     }
 }
@@ -406,6 +494,17 @@ pub struct Cluster {
     /// Updates whose lazy persist has not completed (buffer-gauge input).
     pub(crate) lazy_pending: u64,
     pub(crate) done: bool,
+    /// Cached `cfg.faults.active()`: arms the robustness machinery.
+    pub(crate) faults_active: bool,
+    /// Liveness of each node (all true on the fault-free path).
+    pub(crate) node_up: Vec<bool>,
+    /// Per-node crash epoch; bumped on crash so stale persists are dropped.
+    pub(crate) node_epoch: Vec<u64>,
+    /// NVM image captured at each node's last crash (for rejoin).
+    pub(crate) nvm_images: Vec<Option<crate::failure::NodeImage>>,
+    /// Payload sizes alongside each NVM image (for persist sizing after
+    /// the rejoin catch-up).
+    pub(crate) nvm_bytes: Vec<BTreeMap<Key, u32>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -425,10 +524,22 @@ impl Cluster {
         let clients = ClientPool::new(&cfg.workload, cfg.clients, cfg.nodes, cfg.seed);
         let nodes = (0..cfg.nodes).map(|i| NodeState::new(NodeId(i), &cfg)).collect();
         let cstate = (0..cfg.clients).map(|_| ClientRun::new()).collect();
+        let mut fabric = Fabric::new(cfg.nodes as usize, cfg.network);
+        if cfg.faults.lossy() {
+            // The lossy layer is installed only when the plan asks for it, so
+            // fault-free runs keep their exact pre-fault event stream.
+            fabric.set_fault_profile(FaultProfile {
+                drop_prob: cfg.faults.drop_prob,
+                dup_prob: cfg.faults.dup_prob,
+                max_jitter: cfg.faults.max_jitter,
+                seed: cfg.seed ^ cfg.faults.fault_seed.rotate_left(17),
+            });
+        }
+        let n = cfg.nodes as usize;
         Cluster {
             cons: cfg.model.consistency,
             pers: cfg.model.persistency,
-            fabric: Fabric::new(cfg.nodes as usize, cfg.network),
+            fabric,
             nodes,
             clients,
             cstate,
@@ -441,6 +552,11 @@ impl Cluster {
             active_txns: BTreeMap::new(),
             lazy_pending: 0,
             done: false,
+            faults_active: cfg.faults.active(),
+            node_up: vec![true; n],
+            node_epoch: vec![0; n],
+            nvm_images: vec![None; n],
+            nvm_bytes: vec![BTreeMap::new(); n],
             cfg,
         }
     }
@@ -459,13 +575,48 @@ impl Cluster {
         msg: Message,
         kind: RdmaKind,
     ) {
+        self.send_at(ctx, ctx.now(), from, to, msg, kind);
+    }
+
+    /// Sends one message stamped at `when`, routing it through the lossy
+    /// fault layer when one is installed.
+    pub(crate) fn send_at(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        when: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+        kind: RdmaKind,
+    ) {
         let bytes = msg.wire_bytes();
-        let delivery = self.fabric.unicast(ctx.now(), from, to, bytes, kind);
         if self.measuring {
             self.stats.network_bytes += bytes;
             self.stats.messages_sent += 1;
         }
-        ctx.schedule_at(delivery.arrival, Event::Deliver(to, msg));
+        if self.fabric.fault_profile().is_some() {
+            let t = self.fabric.transmit(when, from, to, bytes, kind);
+            if t.jittered && self.measuring {
+                self.stats.messages_delayed += 1;
+            }
+            match t.primary {
+                Some(at) => ctx.schedule_at(at, Event::Deliver(to, msg.clone())),
+                None => {
+                    if self.measuring {
+                        self.stats.messages_dropped += 1;
+                    }
+                }
+            }
+            if let Some(at) = t.duplicate {
+                if self.measuring {
+                    self.stats.messages_duplicated += 1;
+                }
+                ctx.schedule_at(at, Event::Deliver(to, msg));
+            }
+        } else {
+            let delivery = self.fabric.unicast(when, from, to, bytes, kind);
+            ctx.schedule_at(delivery.arrival, Event::Deliver(to, msg));
+        }
     }
 
     /// Broadcasts a message to every node except `from`.
@@ -539,19 +690,73 @@ impl Model for Cluster {
             return;
         }
         match event {
-            Event::Issue(client) => self.on_issue(ctx, client),
-            Event::Deliver(node, msg) => self.on_deliver(ctx, node, msg),
-            Event::PersistDone(node, pctx) => self.on_persist_done(ctx, node, pctx),
-            Event::LazyPropagate(node, seq) => self.on_lazy_propagate(ctx, node, seq),
-            Event::LazyPersist(node, lctx) => self.on_lazy_persist(ctx, node, lctx),
-            Event::TxnRetry(client) => self.on_txn_retry(ctx, client),
+            Event::Issue(client, token) => self.on_issue(ctx, client, token),
+            Event::Deliver(node, msg) => {
+                if self.faults_active && !self.node_up[node.index()] {
+                    // Addressed to a crashed node: the fabric can't deliver.
+                    if self.measuring {
+                        self.stats.messages_dropped += 1;
+                    }
+                    return;
+                }
+                self.on_deliver(ctx, node, msg);
+            }
+            Event::PersistDone(node, pctx) => {
+                if pctx.epoch != self.node_epoch[node.index()] {
+                    // Issued before the node's crash: the write buffer died
+                    // with the volatile hierarchy.
+                    if pctx.purpose == PersistPurpose::Lazy {
+                        self.lazy_pending = self.lazy_pending.saturating_sub(1);
+                        self.update_buffer_gauge(ctx.now());
+                    }
+                    return;
+                }
+                self.on_persist_done(ctx, node, pctx);
+            }
+            Event::LazyPropagate(node, seq) => {
+                if self.faults_active && !self.node_up[node.index()] {
+                    return;
+                }
+                self.on_lazy_propagate(ctx, node, seq);
+            }
+            Event::LazyPersist(node, lctx) => {
+                if lctx.epoch != self.node_epoch[node.index()] {
+                    self.lazy_pending = self.lazy_pending.saturating_sub(1);
+                    self.update_buffer_gauge(ctx.now());
+                    return;
+                }
+                self.on_lazy_persist(ctx, node, lctx);
+            }
+            Event::TxnRetry(client, token) => self.on_txn_retry(ctx, client, token),
             Event::ExecOp {
                 client,
                 request,
                 issued_at,
                 txn,
                 scope,
-            } => self.on_exec_op(ctx, client, request, issued_at, txn, scope),
+                token,
+            } => {
+                if token != self.cstate[client.index()].op_token {
+                    return;
+                }
+                self.on_exec_op(ctx, client, request, issued_at, txn, scope)
+            }
+            Event::OpTimeout { client, token } => self.on_op_timeout(ctx, client, token),
+            Event::WriteRetry { node, seq, attempt } => self.on_write_retry(ctx, node, seq, attempt),
+            Event::TxnRoundRetry { node, seq, attempt } => {
+                self.on_txn_round_retry(ctx, node, seq, attempt);
+            }
+            Event::ScopeRetry { node, scope, attempt } => {
+                self.on_scope_retry(ctx, node, scope, attempt);
+            }
+            Event::TransientExpire {
+                node,
+                key,
+                write,
+                version,
+            } => self.on_transient_expire(ctx, node, key, write, version),
+            Event::NodeCrash(node) => self.on_node_crash(ctx, node),
+            Event::NodeRecover(node) => self.on_node_recover(ctx, node),
         }
     }
 }
@@ -608,7 +813,13 @@ impl Simulation {
             // initial broadcast burst does not phase-lock.
             for i in 0..self.cluster.cfg.clients {
                 let start = SimTime::ZERO + Duration::from_nanos(u64::from(i) * 10);
-                self.engine.schedule(start, Event::Issue(ClientId(i)));
+                self.engine.schedule(start, Event::Issue(ClientId(i), 0));
+            }
+            // Scheduled fault-plan crashes and their rejoins.
+            for c in &self.cluster.cfg.faults.crashes {
+                let down = SimTime::ZERO + c.at;
+                self.engine.schedule(down, Event::NodeCrash(NodeId(c.node)));
+                self.engine.schedule(down + c.down_for, Event::NodeRecover(NodeId(c.node)));
             }
             self.engine.run(&mut self.cluster);
             let now = self.engine.now();

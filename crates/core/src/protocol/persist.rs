@@ -112,6 +112,7 @@ impl Cluster {
         node: NodeId,
         lctx: LazyPersistCtx,
     ) {
+        let epoch = self.node_epoch[node.index()];
         let done = self.nodes[node.index()].mem.persist(
             ctx.now(),
             Self::addr(lctx.key),
@@ -128,6 +129,7 @@ impl Cluster {
                     key: lctx.key,
                     version: lctx.version,
                     purpose: PersistPurpose::Lazy,
+                    epoch,
                 },
             ),
         );

@@ -25,17 +25,25 @@ impl Cluster {
         self.cstate[client.index()].scope_counter += 1;
 
         let needed = self.followers();
+        let (down_mask, down_count) = self.down_mask();
         self.nodes[home.index()].scope_rounds.insert(
             scope,
             PendingScopeRound {
                 client,
-                acks: 0,
+                acks: down_count,
+                acked: down_mask,
                 needed,
                 local_outstanding: 0,
                 local_started: false,
             },
         );
         self.broadcast(ctx, home, &Message::Persist { scope }, RdmaKind::RemoteFlush);
+        if self.faults_active {
+            ctx.schedule_in(
+                self.cfg.faults.ack_timeout,
+                Event::ScopeRetry { node: home, scope, attempt: 1 },
+            );
+        }
         self.flush_scope_local(ctx, home, scope);
         self.try_complete_scope(ctx, home, scope);
     }
@@ -48,6 +56,7 @@ impl Cluster {
             .map(|b| b.writes)
             .unwrap_or_default();
         let n = writes.len() as u32;
+        let epoch = self.node_epoch[home.index()];
         if let Some(round) = self.nodes[home.index()].scope_rounds.get_mut(&scope) {
             round.local_outstanding = n;
             round.local_started = true;
@@ -69,6 +78,7 @@ impl Cluster {
                         key,
                         version,
                         purpose: PersistPurpose::ScopeFlush { scope },
+                        epoch,
                     },
                 ),
             );
@@ -77,6 +87,19 @@ impl Cluster {
 
     /// `[PERSIST]s` at a follower: flush all buffered writes of the scope.
     pub(crate) fn on_persist_msg(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, scope: ScopeId) {
+        // A retransmitted PERSIST while the flush is already running must
+        // not restart it (that would lose the outstanding count and
+        // acknowledge before durability).
+        if self.faults_active {
+            if let Some(buffer) = self.nodes[node.index()].scopes.get(&scope) {
+                if buffer.flushing {
+                    if self.measuring {
+                        self.stats.duplicates_suppressed += 1;
+                    }
+                    return;
+                }
+            }
+        }
         let writes = self.nodes[node.index()]
             .scopes
             .remove(&scope)
@@ -86,6 +109,7 @@ impl Cluster {
             self.send_ack_scope(ctx, node, scope);
             return;
         }
+        let epoch = self.node_epoch[node.index()];
         let buffer = self.nodes[node.index()].scopes.entry(scope).or_default();
         buffer.flushing = true;
         buffer.flush_outstanding = writes.len() as u32;
@@ -106,6 +130,7 @@ impl Cluster {
                         key,
                         version,
                         purpose: PersistPurpose::ScopeFlush { scope },
+                        epoch,
                     },
                 ),
             );
@@ -146,15 +171,31 @@ impl Cluster {
     }
 
     /// `[ACK_p]s` at the coordinator.
-    pub(crate) fn on_ack_scope(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, scope: ScopeId) {
+    pub(crate) fn on_ack_scope(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        scope: ScopeId,
+        from: NodeId,
+    ) {
         if let Some(round) = self.nodes[node.index()].scope_rounds.get_mut(&scope) {
+            if self.faults_active {
+                let bit = Self::follower_bit(from);
+                if round.acked & bit != 0 {
+                    if self.measuring {
+                        self.stats.duplicates_suppressed += 1;
+                    }
+                    return;
+                }
+                round.acked |= bit;
+            }
             round.acks += 1;
         }
         self.try_complete_scope(ctx, node, scope);
     }
 
     /// Completes the Persist call once every replica persisted the scope.
-    fn try_complete_scope(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, scope: ScopeId) {
+    pub(super) fn try_complete_scope(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, scope: ScopeId) {
         let Some(round) = self.nodes[node.index()].scope_rounds.get(&scope) else {
             return;
         };

@@ -112,7 +112,8 @@ impl Cluster {
             ConflictOutcome::Clear => {}
             ConflictOutcome::Wait => {
                 self.note_group_conflict(client);
-                ctx.schedule_in(self.cfg.txn_retry_backoff, Event::TxnRetry(client));
+                let token = self.cstate[client.index()].op_token;
+                ctx.schedule_in(self.cfg.txn_retry_backoff, Event::TxnRetry(client, token));
                 return;
             }
         }
@@ -220,20 +221,30 @@ impl Cluster {
         );
         let needs_log_persist = self.pers.persist_before_ack();
         let needed = self.followers();
+        let (down_mask, down_count) = self.down_mask();
         self.nodes[home.index()].txn_rounds.insert(
             txn.seq,
             PendingTxnRound {
                 txn,
                 client,
                 begin: true,
-                acks: 0,
+                acks: down_count,
+                acked: down_mask,
                 needed,
                 local_persisted: !needs_log_persist,
                 local_persists_outstanding: 0,
+                writes: 0,
             },
         );
         self.broadcast(ctx, home, &Message::InitX { txn }, RdmaKind::Send);
+        if self.faults_active {
+            ctx.schedule_in(
+                self.cfg.faults.ack_timeout,
+                Event::TxnRoundRetry { node: home, seq: txn.seq, attempt: 1 },
+            );
+        }
         if needs_log_persist {
+            let epoch = self.node_epoch[home.index()];
             let done = self.nodes[home.index()].mem.persist(ctx.now(), txn_log_addr(txn), 64);
             ctx.schedule_at(
                 done,
@@ -243,6 +254,7 @@ impl Cluster {
                         key: txn_log_addr(txn) >> 6,
                         version: 0,
                         purpose: PersistPurpose::TxnLog { txn, begin: true },
+                        epoch,
                     },
                 ),
             );
@@ -262,6 +274,7 @@ impl Cluster {
             .iter()
             .filter(|r| r.op == OpKind::Write)
             .count() as u32;
+        let epoch = self.node_epoch[home.index()];
         let mut outstanding = 0;
         if self.pers == Persistency::Synchronous {
             // <Transactional, Synchronous>: the coordinator's own txn writes
@@ -285,32 +298,51 @@ impl Cluster {
                             key,
                             version,
                             purpose: PersistPurpose::TxnEnd { txn },
+                            epoch,
                         },
                     ),
                 );
             }
         }
         let needed = self.followers();
+        let (down_mask, down_count) = self.down_mask();
         self.nodes[home.index()].txn_rounds.insert(
             txn.seq,
             PendingTxnRound {
                 txn,
                 client,
                 begin: false,
-                acks: 0,
+                acks: down_count,
+                acked: down_mask,
                 needed,
                 local_persisted: true,
                 local_persists_outstanding: outstanding,
+                writes,
             },
         );
         self.broadcast(ctx, home, &Message::EndX { txn, writes }, RdmaKind::Send);
+        if self.faults_active {
+            ctx.schedule_in(
+                self.cfg.faults.ack_timeout,
+                Event::TxnRoundRetry { node: home, seq: txn.seq, attempt: 1 },
+            );
+        }
         self.try_complete_txn_round(ctx, home, txn.seq);
     }
 
     /// INITX at a follower.
     pub(crate) fn on_initx(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, txn: TxnId) {
+        // A retransmitted INITX re-runs the (idempotent) log persist and
+        // re-acknowledges; only the statistics note the duplicate.
+        if self.faults_active
+            && self.nodes[node.index()].txns.contains_key(&txn)
+            && self.measuring
+        {
+            self.stats.duplicates_suppressed += 1;
+        }
         self.nodes[node.index()].txns.entry(txn).or_default();
         if self.pers.persist_before_ack() {
+            let epoch = self.node_epoch[node.index()];
             let done = self.nodes[node.index()].mem.persist(ctx.now(), txn_log_addr(txn), 64);
             ctx.schedule_at(
                 done,
@@ -320,6 +352,7 @@ impl Cluster {
                         key: txn_log_addr(txn) >> 6,
                         version: 0,
                         purpose: PersistPurpose::TxnLog { txn, begin: true },
+                        epoch,
                     },
                 ),
             );
@@ -345,6 +378,7 @@ impl Cluster {
             ft.writes_applied += 1;
             ft.writes.push((key, version, value_bytes));
         }
+        let epoch = self.node_epoch[node.index()];
         let coord = write.coordinator;
         match self.pers {
             Persistency::Strict => {
@@ -368,6 +402,7 @@ impl Cluster {
                                 write,
                                 txn: Some(txn),
                             },
+                            epoch,
                         },
                     ),
                 );
@@ -394,6 +429,7 @@ impl Cluster {
                             key,
                             version,
                             purpose: PersistPurpose::FollowerInv { write, txn: None },
+                            epoch,
                         },
                     ),
                 );
@@ -418,6 +454,7 @@ impl Cluster {
                             key,
                             version,
                             bytes: value_bytes,
+                            epoch,
                         },
                     ),
                 );
@@ -462,6 +499,7 @@ impl Cluster {
                         .collect();
                     let n = remaining.len() as u32;
                     if n > 0 {
+                        let epoch = self.node_epoch[node.index()];
                         self.nodes[node.index()]
                             .txns
                             .get_mut(&txn)
@@ -484,6 +522,7 @@ impl Cluster {
                                         key,
                                         version,
                                         purpose: PersistPurpose::TxnEnd { txn },
+                                        epoch,
                                     },
                                 ),
                             );
@@ -519,8 +558,30 @@ impl Cluster {
     }
 
     /// ACK of INITX/ENDX at the coordinator.
-    pub(crate) fn on_ackx(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, txn: TxnId, _begin: bool) {
+    pub(crate) fn on_ackx(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        txn: TxnId,
+        begin: bool,
+        from: NodeId,
+    ) {
         if let Some(round) = self.nodes[node.index()].txn_rounds.get_mut(&txn.seq) {
+            // A late duplicate INITX-ack must not credit the ENDX round
+            // that reused the transaction's slot.
+            if round.begin != begin {
+                return;
+            }
+            if self.faults_active {
+                let bit = Self::follower_bit(from);
+                if round.acked & bit != 0 {
+                    if self.measuring {
+                        self.stats.duplicates_suppressed += 1;
+                    }
+                    return;
+                }
+                round.acked |= bit;
+            }
             round.acks += 1;
         }
         self.try_complete_txn_round(ctx, node, txn.seq);
@@ -562,7 +623,7 @@ impl Cluster {
     }
 
     /// Checks an INITX/ENDX round for completion.
-    fn try_complete_txn_round(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, seq: u64) {
+    pub(super) fn try_complete_txn_round(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, seq: u64) {
         let Some(round) = self.nodes[node.index()].txn_rounds.get(&seq) else {
             return;
         };
@@ -614,9 +675,16 @@ impl Cluster {
         self.schedule_next_issue(ctx, client, ctx.now());
     }
 
-    /// Retry entry point after a wait backoff or a wound.
-    pub(crate) fn on_txn_retry(&mut self, ctx: &mut Context<'_, Event>, client: ClientId) {
-        if self.done {
+    /// Retry entry point after a wait backoff or a wound. A stale token
+    /// means the operation timeout already reset this client.
+    pub(crate) fn on_txn_retry(&mut self, ctx: &mut Context<'_, Event>, client: ClientId, token: u64) {
+        if self.done || token != self.cstate[client.index()].op_token {
+            return;
+        }
+        // The retry must not restart a transaction on a crashed
+        // coordinator; park it until the node is back.
+        if self.faults_active && self.is_down(self.home_of(client)) {
+            ctx.schedule_in(self.cfg.faults.op_timeout, Event::TxnRetry(client, token));
             return;
         }
         self.issue_transactional(ctx, client);

@@ -104,6 +104,7 @@ impl Cluster {
             st.inflight_version = version;
         }
 
+        let inflight_set = st.inflight == Some(write);
         let pw = PendingWrite {
             write,
             key,
@@ -114,6 +115,8 @@ impl Cluster {
             earliest_complete: applied_at,
             acks: 0,
             acks_p: 0,
+            acked_c: 0,
+            acked_p: 0,
             needed: followers,
             local_applied: true,
             local_persisted: false,
@@ -123,8 +126,22 @@ impl Cluster {
             abandoned: false,
             txn,
             scope,
+            cauhist: cauhist.as_ref().map(|(hist, _)| hist.clone()),
         };
         node.pending.insert(seq, pw);
+
+        // Crashed followers will never answer: pre-acknowledge them so the
+        // round completes on the surviving quorum.
+        if self.faults_active {
+            let (mask, count) = self.down_mask();
+            if count > 0 {
+                let pw = self.nodes[home.index()].pending.get_mut(&seq).expect("just inserted");
+                pw.acked_c |= mask;
+                pw.acked_p |= mask;
+                pw.acks += count;
+                pw.acks_p += count;
+            }
+        }
 
         // Propagate to the replicas.
         match cons {
@@ -183,6 +200,22 @@ impl Cluster {
             }
         }
 
+        // Fault nets: an ACK-timeout retransmission chain for rounds that
+        // collect acknowledgments, and a transient lease on the
+        // coordinator's own transient entry.
+        if self.faults_active {
+            let (needs_c, needs_p) = self.write_ack_needs();
+            if needs_c || needs_p {
+                ctx.schedule_at(
+                    applied_at + self.cfg.faults.ack_timeout,
+                    Event::WriteRetry { node: home, seq, attempt: 1 },
+                );
+            }
+            if inflight_set {
+                self.schedule_transient_lease(ctx, home, key, write, version);
+            }
+        }
+
         // Local durability.
         self.schedule_local_persist(ctx, home, seq, applied_at);
         self.update_buffer_gauge(ctx.now());
@@ -198,6 +231,7 @@ impl Cluster {
         applied_at: SimTime,
     ) {
         let (cons, pers) = (self.cons, self.pers);
+        let epoch = self.node_epoch[home.index()];
         let node = &mut self.nodes[home.index()];
         let pw = node.pending.get_mut(&seq).expect("just inserted");
         let (key, version, bytes) = (pw.key, pw.version, pw.value_bytes);
@@ -238,6 +272,7 @@ impl Cluster {
                                 key,
                                 version,
                                 purpose,
+                                epoch,
                             },
                         ),
                     );
@@ -256,6 +291,7 @@ impl Cluster {
                             key,
                             version,
                             purpose,
+                            epoch,
                         },
                     ),
                 );
@@ -282,6 +318,7 @@ impl Cluster {
                             key,
                             version,
                             bytes,
+                            epoch,
                         },
                     ),
                 );
@@ -455,6 +492,7 @@ impl Cluster {
 
     /// Starts the next persist of a chain if none is in flight.
     pub(crate) fn advance_chain(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, origin: NodeId) {
+        let epoch = self.node_epoch[node.index()];
         let n = &mut self.nodes[node.index()];
         if n.chain_busy[origin.index()] {
             return;
@@ -475,6 +513,7 @@ impl Cluster {
                     key: entry.key,
                     version: entry.version,
                     purpose: entry.purpose,
+                    epoch,
                 },
             ),
         );
@@ -492,14 +531,9 @@ impl Cluster {
         kind: RdmaKind,
     ) {
         let targets: Vec<NodeId> = (0..self.cfg.nodes).map(NodeId).filter(|&n| n != from).collect();
+        let when = when.max(ctx.now());
         for to in targets {
-            let bytes = msg.wire_bytes();
-            let delivery = self.fabric.unicast(when.max(ctx.now()), from, to, bytes, kind);
-            if self.measuring {
-                self.stats.network_bytes += bytes;
-                self.stats.messages_sent += 1;
-            }
-            ctx.schedule_at(delivery.arrival, Event::Deliver(to, msg.clone()));
+            self.send_at(ctx, when, from, to, msg.clone(), kind);
         }
     }
 }

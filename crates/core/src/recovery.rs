@@ -62,7 +62,7 @@ impl RecoveredState {
 /// use ddp_core::{recover, ClusterSnapshot, NodeImage, RecoveryPolicy};
 ///
 /// let img = |pairs: &[(u64, u64)]| NodeImage {
-///     persisted: pairs.iter().copied().collect(),
+///     versions: pairs.iter().copied().collect(),
 /// };
 /// let snap = ClusterSnapshot {
 ///     nvm: vec![img(&[(1, 4)]), img(&[(1, 4)]), img(&[(1, 2)])],
@@ -116,7 +116,7 @@ mod tests {
 
     fn img(pairs: &[(Key, u64)]) -> NodeImage {
         NodeImage {
-            persisted: pairs.iter().copied().collect(),
+            versions: pairs.iter().copied().collect(),
         }
     }
 
@@ -197,6 +197,49 @@ mod tests {
         let r = recover(&s, RecoveryPolicy::NewestAvailable);
         assert_eq!(r.version_of(3), 0);
         assert_eq!(r.lost_updates, vec![(3, 2)]);
+    }
+
+    #[test]
+    fn partial_snapshot_missing_nvm_images() {
+        // A snapshot taken while one node is crashed carries fewer NVM
+        // images than volatile views (the live peers still remember the
+        // dead node's visible state). Quorum math must follow the NVM
+        // image count, and keys known only to the volatile side must still
+        // be scanned so their loss is reported.
+        let s = snap(
+            vec![img(&[(1, 6)]), img(&[(1, 6)])],
+            vec![img(&[(1, 6)]), img(&[(1, 6)]), img(&[(1, 6), (4, 3)])],
+        );
+        assert_eq!(s.nodes(), 2, "node count follows the NVM images");
+        let r = recover(&s, RecoveryPolicy::MajorityVote);
+        // majority of 2 = 2: both surviving images reach version 6.
+        assert_eq!(r.version_of(1), 6);
+        // Key 4 was visible only on the crashed node's peer view; no NVM
+        // image holds it, so it is lost, not silently skipped.
+        assert_eq!(r.version_of(4), 0);
+        assert_eq!(r.lost_updates, vec![(4, 3)]);
+    }
+
+    #[test]
+    fn even_cluster_majority_is_strict() {
+        // 4 nodes: majority = 4/2 + 1 = 3, so a 2-2 split must recover the
+        // lower version — exactly half is not a quorum.
+        let s = snap(
+            vec![img(&[(1, 9)]), img(&[(1, 9)]), img(&[(1, 5)]), img(&[(1, 5)])],
+            vec![img(&[(1, 9)]); 4],
+        );
+        let r = recover(&s, RecoveryPolicy::MajorityVote);
+        assert_eq!(r.version_of(1), 5, "2 of 4 is not a majority");
+        assert_eq!(r.lost_updates, vec![(1, 9)]);
+
+        // A third image at 9 tips the quorum.
+        let s = snap(
+            vec![img(&[(1, 9)]), img(&[(1, 9)]), img(&[(1, 9)]), img(&[(1, 5)])],
+            vec![img(&[(1, 9)]); 4],
+        );
+        let r = recover(&s, RecoveryPolicy::MajorityVote);
+        assert_eq!(r.version_of(1), 9);
+        assert!(r.lossless());
     }
 
     #[test]

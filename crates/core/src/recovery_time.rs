@@ -168,7 +168,7 @@ mod tests {
 
     fn img(pairs: &[(Key, u64)]) -> NodeImage {
         NodeImage {
-            persisted: pairs.iter().copied().collect(),
+            versions: pairs.iter().copied().collect(),
         }
     }
 

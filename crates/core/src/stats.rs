@@ -42,6 +42,32 @@ pub struct RunStats {
     pub measured_time: Duration,
     /// Simulated instant the measured window started.
     pub window_start: SimTime,
+    /// Messages the lossy fabric dropped (or that were addressed to a
+    /// crashed node) during the measured window.
+    pub messages_dropped: u64,
+    /// Messages the lossy fabric delivered twice.
+    pub messages_duplicated: u64,
+    /// Messages that picked up extra fabric jitter.
+    pub messages_delayed: u64,
+    /// Protocol messages re-sent after an ACK timeout (INV/UPD/VAL and the
+    /// transaction/scope round messages).
+    pub retransmits: u64,
+    /// Duplicate protocol messages suppressed by idempotence guards.
+    pub duplicates_suppressed: u64,
+    /// Client operations abandoned by the operation timeout.
+    pub client_timeouts: u64,
+    /// Follower transient states cleared by the lease timeout (a VAL was
+    /// lost beyond the retransmission budget, or its coordinator died).
+    pub transient_expirations: u64,
+    /// Keys brought up to date when a rejoining node caught up from its
+    /// peers.
+    pub catchup_keys: u64,
+    /// Node crash events over the whole run: `(node, time)`. Unlike the
+    /// window counters above, these survive the warm-up reset — a fault
+    /// trace is about the run, not the measured window.
+    pub crashes: Vec<(u8, SimTime)>,
+    /// Node rejoin events over the whole run: `(node, time)`.
+    pub rejoins: Vec<(u8, SimTime)>,
 }
 
 impl RunStats {
@@ -106,6 +132,17 @@ pub struct RunSummary {
     pub mean_buffered_writes: f64,
     /// Peak buffered causal writes.
     pub max_buffered_writes: u64,
+    /// Messages lost in the fabric or addressed to a crashed node
+    /// (zero on the fault-free path).
+    pub messages_dropped: u64,
+    /// Messages the fabric delivered twice (zero on the fault-free path).
+    pub messages_duplicated: u64,
+    /// Protocol messages re-sent after ACK timeouts (zero on the fault-free
+    /// path).
+    pub retransmits: u64,
+    /// Client operations abandoned by the operation timeout (zero on the
+    /// fault-free path).
+    pub client_timeouts: u64,
 }
 
 impl RunSummary {
@@ -125,6 +162,10 @@ impl RunSummary {
             txn_conflict_rate: stats.txn_conflict_rate(),
             mean_buffered_writes: stats.causal_buffered.time_weighted_mean(),
             max_buffered_writes: stats.causal_buffered.max(),
+            messages_dropped: stats.messages_dropped,
+            messages_duplicated: stats.messages_duplicated,
+            retransmits: stats.retransmits,
+            client_timeouts: stats.client_timeouts,
         }
     }
 }
@@ -144,36 +185,42 @@ mod tests {
 
     #[test]
     fn throughput_uses_measured_window() {
-        let mut s = RunStats::default();
-        s.reads_completed = 500;
-        s.writes_completed = 500;
-        s.measured_time = Duration::from_millis(1);
+        let s = RunStats {
+            reads_completed: 500,
+            writes_completed: 500,
+            measured_time: Duration::from_millis(1),
+            ..RunStats::default()
+        };
         assert!((s.throughput() - 1_000_000.0).abs() < 1e-6);
     }
 
     #[test]
     fn rates_divide_correctly() {
-        let mut s = RunStats::default();
-        s.reads_completed = 100;
-        s.reads_stalled_on_persist = 31;
-        s.txns_started = 10;
-        s.txns_conflicted = 3;
+        let s = RunStats {
+            reads_completed: 100,
+            reads_stalled_on_persist: 31,
+            txns_started: 10,
+            txns_conflicted: 3,
+            ..RunStats::default()
+        };
         assert!((s.read_persist_conflict_rate() - 0.31).abs() < 1e-12);
         assert!((s.txn_conflict_rate() - 0.3).abs() < 1e-12);
     }
 
     #[test]
     fn summary_from_stats() {
-        let mut s = RunStats::default();
-        s.reads_completed = 2;
-        s.writes_completed = 2;
+        let mut s = RunStats {
+            reads_completed: 2,
+            writes_completed: 2,
+            network_bytes: 400,
+            measured_time: Duration::from_micros(10),
+            ..RunStats::default()
+        };
         s.read_latency.record(Duration::from_nanos(100));
         s.read_latency.record(Duration::from_nanos(300));
         s.write_latency.record(Duration::from_nanos(1_000));
         s.write_latency.record(Duration::from_nanos(3_000));
         s.access_latency.record(Duration::from_nanos(100));
-        s.network_bytes = 400;
-        s.measured_time = Duration::from_micros(10);
         let sum = RunSummary::from_stats(&s);
         assert!((sum.mean_read_ns - 200.0).abs() < 1.0);
         assert!((sum.mean_write_ns - 2_000.0).abs() < 1.0);

@@ -1,7 +1,8 @@
 //! The cluster fabric: node addressing, unicast, and broadcast.
 
-use ddp_sim::SimTime;
+use ddp_sim::{Duration, SimRng, SimTime};
 
+use crate::fault::{FaultProfile, Transmit};
 use crate::nic::{Nic, RdmaKind};
 use crate::params::NetworkParams;
 
@@ -64,7 +65,20 @@ pub struct Delivery {
 pub struct Fabric {
     nics: Vec<Nic>,
     params: NetworkParams,
+    /// Lossy-delivery layer; absent unless a non-trivial [`FaultProfile`]
+    /// was installed, so the fault-free path never touches an RNG.
+    faults: Option<LossyLayer>,
 }
+
+#[derive(Debug)]
+struct LossyLayer {
+    profile: FaultProfile,
+    rng: SimRng,
+}
+
+/// Minimum spacing between a delivery and its fabric-duplicated copy when
+/// the profile specifies no jitter to draw the spacing from.
+const DUP_SPACING: Duration = Duration::from_nanos(100);
 
 impl Fabric {
     /// Creates a fabric of `nodes` fully connected NICs.
@@ -78,7 +92,30 @@ impl Fabric {
         Fabric {
             nics: (0..nodes).map(|_| Nic::new(params)).collect(),
             params,
+            faults: None,
         }
+    }
+
+    /// Installs a lossy-delivery layer.
+    ///
+    /// A no-op profile (see [`FaultProfile::is_noop`]) removes the layer
+    /// entirely, keeping [`Fabric::transmit`] bit-identical to a fabric
+    /// that was never given a profile.
+    pub fn set_fault_profile(&mut self, profile: FaultProfile) {
+        self.faults = if profile.is_noop() {
+            None
+        } else {
+            Some(LossyLayer {
+                profile,
+                rng: SimRng::seed_from(profile.seed),
+            })
+        };
+    }
+
+    /// The installed fault profile, if a non-trivial one is active.
+    #[must_use]
+    pub fn fault_profile(&self) -> Option<&FaultProfile> {
+        self.faults.as_ref().map(|l| &l.profile)
     }
 
     /// Number of nodes on the fabric.
@@ -109,9 +146,54 @@ impl Fabric {
     /// Panics if `from == to` — local operations do not cross the fabric.
     pub fn unicast(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64, kind: RdmaKind) -> Delivery {
         assert_ne!(from, to, "cannot send to self over the fabric");
-        let _ = kind;
-        let arrival = self.nics[from.index()].send(now, bytes);
+        let arrival = self.nics[from.index()].send_kind(now, bytes, kind);
         Delivery { to, arrival }
+    }
+
+    /// Sends `bytes` from `from` to `to` through the lossy-delivery layer.
+    ///
+    /// Without an installed [`FaultProfile`] this is exactly
+    /// [`Fabric::unicast`]. With one, the message may be dropped (after
+    /// consuming sender egress — the bits went out, the fabric lost them),
+    /// duplicated (a second, strictly later arrival), or jittered (extra
+    /// uniform delay on top of the modeled latency). Fault outcomes are
+    /// drawn from the fabric's seeded RNG in a fixed order per message, so
+    /// runs replay deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`.
+    pub fn transmit(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64, kind: RdmaKind) -> Transmit {
+        assert_ne!(from, to, "cannot send to self over the fabric");
+        let nic = &mut self.nics[from.index()];
+        let arrival = nic.send_kind(now, bytes, kind);
+        let Some(layer) = &mut self.faults else {
+            return Transmit { to, primary: Some(arrival), duplicate: None, jittered: false };
+        };
+        if layer.rng.chance(layer.profile.drop_prob) {
+            nic.record_dropped();
+            return Transmit { to, primary: None, duplicate: None, jittered: false };
+        }
+        let mut primary = arrival;
+        let mut jittered = false;
+        let max_jitter = layer.profile.max_jitter;
+        if max_jitter > Duration::ZERO {
+            let extra = layer.rng.next_below(max_jitter.as_nanos() + 1);
+            if extra > 0 {
+                primary += Duration::from_nanos(extra);
+                jittered = true;
+                nic.record_delayed();
+            }
+        }
+        let duplicate = if layer.rng.chance(layer.profile.dup_prob) {
+            nic.record_duplicated();
+            let spacing = max_jitter.max(DUP_SPACING);
+            let extra = 1 + layer.rng.next_below(spacing.as_nanos());
+            Some(primary + Duration::from_nanos(extra))
+        } else {
+            None
+        };
+        Transmit { to, primary: Some(primary), duplicate, jittered }
     }
 
     /// Broadcasts `bytes` from `from` to every other node.
@@ -183,6 +265,80 @@ mod tests {
         let d = f.unicast(SimTime::ZERO, NodeId(2), NodeId(1), 64, RdmaKind::Send);
         assert_eq!(d.arrival, SimTime::from_nanos(603));
         assert_eq!(f.nic(NodeId(0)).sent_count(), 32);
+    }
+
+    #[test]
+    fn transmit_without_profile_matches_unicast() {
+        let mut plain = Fabric::new(3, NetworkParams::micro21());
+        let mut faulty = Fabric::new(3, NetworkParams::micro21());
+        faulty.set_fault_profile(FaultProfile::none()); // no-op: layer not installed
+        let a = plain.unicast(SimTime::ZERO, NodeId(0), NodeId(1), 64, RdmaKind::Send);
+        let b = faulty.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 64, RdmaKind::Send);
+        assert_eq!(b.primary, Some(a.arrival));
+        assert_eq!(b.duplicate, None);
+        assert!(!b.jittered && !b.dropped());
+    }
+
+    #[test]
+    fn certain_drop_loses_everything_but_consumes_egress() {
+        let mut f = Fabric::new(2, NetworkParams::micro21());
+        f.set_fault_profile(FaultProfile { drop_prob: 1.0, ..FaultProfile::none() });
+        for _ in 0..10 {
+            let t = f.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 4096, RdmaKind::Send);
+            assert!(t.dropped());
+        }
+        assert_eq!(f.nic(NodeId(0)).dropped_count(), 10);
+        assert_eq!(f.nic(NodeId(0)).sent_count(), 10, "drops still burn sender egress");
+    }
+
+    #[test]
+    fn certain_dup_delivers_strictly_later_copy() {
+        let mut f = Fabric::new(2, NetworkParams::micro21());
+        f.set_fault_profile(FaultProfile { dup_prob: 1.0, seed: 7, ..FaultProfile::none() });
+        let t = f.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 64, RdmaKind::Send);
+        let primary = t.primary.expect("not dropped");
+        let dup = t.duplicate.expect("duplicated");
+        assert!(dup > primary);
+        assert_eq!(f.nic(NodeId(0)).duplicated_count(), 1);
+    }
+
+    #[test]
+    fn jitter_only_delays_never_reorders_below_base_latency() {
+        let mut f = Fabric::new(2, NetworkParams::micro21());
+        f.set_fault_profile(FaultProfile {
+            max_jitter: Duration::from_nanos(300),
+            seed: 3,
+            ..FaultProfile::none()
+        });
+        let mut delayed = 0;
+        for i in 0..50u64 {
+            let now = SimTime::from_nanos(i * 10_000);
+            let base = f.nic(NodeId(0)).params().one_way();
+            let t = f.transmit(now, NodeId(0), NodeId(1), 64, RdmaKind::Send);
+            let arrival = t.primary.expect("never dropped");
+            assert!(arrival >= now + base);
+            delayed += u64::from(t.jittered);
+        }
+        assert!(delayed > 0, "300 ns jitter over 50 sends should fire at least once");
+        assert_eq!(f.nic(NodeId(0)).delayed_count(), delayed);
+    }
+
+    #[test]
+    fn same_seed_replays_same_fault_sequence() {
+        let outcomes = |seed: u64| {
+            let mut f = Fabric::new(2, NetworkParams::micro21());
+            f.set_fault_profile(FaultProfile {
+                drop_prob: 0.3,
+                dup_prob: 0.2,
+                max_jitter: Duration::from_nanos(150),
+                seed,
+            });
+            (0..200u64)
+                .map(|i| f.transmit(SimTime::from_nanos(i * 1_000), NodeId(0), NodeId(1), 64, RdmaKind::Send))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(outcomes(11), outcomes(11));
+        assert_ne!(outcomes(11), outcomes(12), "different seeds should diverge");
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Fabric fault injection: probabilistic message drop, duplication, and
+//! extra delivery jitter, driven by a deterministic RNG.
+//!
+//! The profile describes *what* the fabric does to traffic; the seeded RNG
+//! lives with the [`crate::Fabric`] so two runs with the same profile replay
+//! the same fault sequence. A no-op profile installs nothing, keeping the
+//! fault-free fast path bit-identical to a fabric that never heard of
+//! faults.
+
+use ddp_sim::{Duration, SimTime};
+
+use crate::fabric::NodeId;
+
+/// Probabilistic misbehavior of the fabric, applied per message.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_net::FaultProfile;
+/// use ddp_sim::Duration;
+///
+/// let quiet = FaultProfile::none();
+/// assert!(quiet.is_noop());
+///
+/// let lossy = FaultProfile {
+///     drop_prob: 0.01,
+///     dup_prob: 0.001,
+///     max_jitter: Duration::from_nanos(200),
+///     seed: 42,
+/// };
+/// assert!(!lossy.is_noop());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Probability a message is silently lost in flight.
+    pub drop_prob: f64,
+    /// Probability a delivered message arrives a second time.
+    pub dup_prob: f64,
+    /// Maximum extra delay added to a delivery (uniform in `[0, max_jitter]`).
+    pub max_jitter: Duration,
+    /// Seed for the fabric's fault RNG; same seed, same fault sequence.
+    pub seed: u64,
+}
+
+impl FaultProfile {
+    /// A profile that never misbehaves.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultProfile {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            max_jitter: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// True if this profile cannot affect any message.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        self.drop_prob <= 0.0 && self.dup_prob <= 0.0 && self.max_jitter == Duration::ZERO
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::none()
+    }
+}
+
+/// Outcome of one fault-aware transmission.
+///
+/// `primary` is `None` when the fabric dropped the message; `duplicate`
+/// carries the second, strictly later arrival of a duplicated message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transmit {
+    /// Destination node.
+    pub to: NodeId,
+    /// Arrival time of the message, unless it was dropped.
+    pub primary: Option<SimTime>,
+    /// Arrival time of a fabric-duplicated second copy, if any.
+    pub duplicate: Option<SimTime>,
+    /// True if `primary` picked up extra jitter beyond the modeled latency.
+    pub jittered: bool,
+}
+
+impl Transmit {
+    /// True if nothing arrives at the destination.
+    #[must_use]
+    pub fn dropped(&self) -> bool {
+        self.primary.is_none()
+    }
+}

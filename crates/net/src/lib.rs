@@ -14,9 +14,11 @@
 #![warn(missing_debug_implementations)]
 
 mod fabric;
+mod fault;
 mod nic;
 mod params;
 
 pub use fabric::{Delivery, Fabric, NodeId};
+pub use fault::{FaultProfile, Transmit};
 pub use nic::{Nic, RdmaKind};
 pub use params::NetworkParams;

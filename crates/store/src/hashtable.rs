@@ -291,7 +291,7 @@ mod tests {
         for k in 0..50u64 {
             t.put(k, k);
         }
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         t.for_each(&mut |k, _| seen[k as usize] = true);
         assert!(seen.iter().all(|&s| s));
     }

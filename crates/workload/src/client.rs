@@ -37,6 +37,7 @@ pub struct Client {
     think_time: Duration,
     rng: SimRng,
     completed: u64,
+    deferred: u64,
 }
 
 impl Client {
@@ -76,6 +77,19 @@ impl Client {
     #[must_use]
     pub fn completed(&self) -> u64 {
         self.completed
+    }
+
+    /// Notes one issue attempt deferred because the client's home node was
+    /// unreachable (crashed); returns the new total.
+    pub fn note_deferred(&mut self) -> u64 {
+        self.deferred += 1;
+        self.deferred
+    }
+
+    /// Issue attempts deferred by an unreachable home node so far.
+    #[must_use]
+    pub fn deferred(&self) -> u64 {
+        self.deferred
     }
 }
 
@@ -129,6 +143,7 @@ impl ClientPool {
                 think_time,
                 rng: root.fork(0x5EED_0000 + u64::from(i)),
                 completed: 0,
+                deferred: 0,
             })
             .collect();
         ClientPool { clients }

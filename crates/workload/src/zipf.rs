@@ -176,7 +176,7 @@ mod tests {
     fn skew_monotonically_decreases_over_ranks() {
         let z = Zipfian::new(50, 0.9);
         let mut rng = SimRng::seed_from(13);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..200_000 {
             counts[z.sample(&mut rng) as usize] += 1;
         }

@@ -59,6 +59,43 @@ proptest! {
         prop_assert_eq!(ab, bb);
     }
 
+    /// Fault injection is part of the deterministic event stream: the same
+    /// fault plan and seeds reproduce the summary, the fault counters, and
+    /// the crash/rejoin trace bit for bit.
+    #[test]
+    fn same_fault_plan_same_everything(
+        c_idx in 0usize..5,
+        p_idx in 0usize..5,
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+    ) {
+        let make = || {
+            let mut cfg = ClusterConfig::micro21(model_from(c_idx, p_idx))
+                .with_seed(seed)
+                .with_loss(0.02)
+                .with_crash(
+                    1,
+                    ddp_sim::Duration::from_micros(30),
+                    ddp_sim::Duration::from_micros(40),
+                );
+            cfg.faults.fault_seed = fault_seed;
+            cfg.warmup_requests = 20;
+            cfg.measured_requests = 300;
+            let mut sim = Simulation::new(cfg);
+            let summary = sim.run().summary;
+            let st = sim.cluster().stats();
+            (
+                summary,
+                st.duplicates_suppressed,
+                st.transient_expirations,
+                st.catchup_keys,
+                st.crashes.clone(),
+                st.rejoins.clone(),
+            )
+        };
+        prop_assert_eq!(make(), make());
+    }
+
     /// Version numbers returned by reads never exceed the number of writes
     /// issued (a cheap global sanity invariant on the version allocator).
     #[test]

@@ -79,7 +79,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut last_arrival = SimTime::ZERO;
         for (s, g) in sizes.iter().zip(&gaps) {
-            now = now + Duration::from_nanos(*g);
+            now += Duration::from_nanos(*g);
             let d = fabric.unicast(now, NodeId(0), NodeId(1), *s, RdmaKind::Send);
             prop_assert!(
                 d.arrival >= last_arrival,

@@ -28,13 +28,13 @@ fn substrates_compose_manually() {
     for _ in 0..1_000 {
         let req = stream.next_request();
         let lat = mem.volatile_access(req.key << 6);
-        now = now + lat;
+        now += lat;
         store.put(req.key, req.value_bytes);
         let d = fabric.unicast(now, NodeId(0), NodeId(1), 64 + u64::from(req.value_bytes), RdmaKind::WriteVolatile);
         assert!(d.arrival > now, "messages must take time");
         let done = mem.persist(now, req.key << 6, u64::from(req.value_bytes));
         assert!(done > now, "persists must take time");
-        now = now + Duration::from_nanos(100);
+        now += Duration::from_nanos(100);
     }
     assert!(!store.is_empty());
     assert!(fabric.nic(NodeId(0)).sent_count() == 1_000);
