@@ -13,37 +13,49 @@
 //! 4. **NIC message-rate limit**: the chatty-protocol bottleneck that
 //!    separates INV/ACK/VAL models from UPD models.
 
-use ddp_bench::{figure_config, measure, measure_sim};
 use ddp_core::{ClusterConfig, Consistency, DdpModel, Persistency};
+use ddp_harness::{figure_config, Harness, Sweep};
 use ddp_sim::Duration;
 
 fn main() {
-    nvm_banks();
-    nvm_write_latency();
-    lazy_persist_delay();
-    nic_message_rate();
+    let mut harness = Harness::from_env("ablation");
+    nvm_banks(&mut harness);
+    nvm_write_latency(&mut harness);
+    lazy_persist_delay(&mut harness);
+    nic_message_rate(&mut harness);
+    harness.finish();
 }
 
 /// §8.1.1: Read-Enforced persistency read stalls come from NVM bank
 /// queueing. Widening the NVM should shrink the <Lin,RE> vs <Lin,Sync>
 /// read-latency gap.
-fn nvm_banks() {
-    println!("Ablation 1: NVM banks per channel vs Read-Enforced read stalls");
-    println!("{:<10} {:>26} {:>26}", "banks", "<Lin,Sync> mean read ns", "<Lin,RE> mean read ns");
-    for banks in [2u32, 8, 32] {
-        let with_banks = |model: DdpModel| -> ClusterConfig {
+fn nvm_banks(harness: &mut Harness) {
+    const BANKS: [u32; 3] = [2, 8, 32];
+    let models = [
+        DdpModel::baseline(),
+        DdpModel::new(Consistency::Linearizable, Persistency::ReadEnforced),
+    ];
+    let mut sweep = Sweep::new();
+    for banks in BANKS {
+        for model in models {
             let mut cfg = figure_config(model);
             cfg.memory.nvm.banks_per_channel = banks;
-            cfg
-        };
-        let sync = measure(with_banks(DdpModel::baseline()));
-        let re = measure(with_banks(DdpModel::new(
-            Consistency::Linearizable,
-            Persistency::ReadEnforced,
-        )));
+            sweep.push(format!("banks={banks} {model}"), cfg);
+        }
+    }
+    let r = harness.run(sweep);
+
+    println!("Ablation 1: NVM banks per channel vs Read-Enforced read stalls");
+    println!(
+        "{:<10} {:>26} {:>26}",
+        "banks", "<Lin,Sync> mean read ns", "<Lin,RE> mean read ns"
+    );
+    for (bi, banks) in BANKS.into_iter().enumerate() {
         println!(
             "{:<10} {:>26.0} {:>26.0}",
-            banks, sync.mean_read_ns, re.mean_read_ns
+            banks,
+            r[bi * 2].summary.mean_read_ns,
+            r[bi * 2 + 1].summary.mean_read_ns
         );
     }
     println!();
@@ -51,24 +63,30 @@ fn nvm_banks() {
 
 /// The NVM write latency is the durability price; sweep it and watch the
 /// strict-vs-relaxed persistency gap under Linearizable consistency.
-fn nvm_write_latency() {
+fn nvm_write_latency(harness: &mut Harness) {
+    const LATENCY_NS: [u64; 3] = [100, 400, 1_600];
+    let models = [
+        DdpModel::baseline(),
+        DdpModel::new(Consistency::Linearizable, Persistency::Eventual),
+    ];
+    let mut sweep = Sweep::new();
+    for ns in LATENCY_NS {
+        for model in models {
+            let mut cfg = figure_config(model);
+            cfg.memory.nvm.write_latency = Duration::from_nanos(ns);
+            sweep.push(format!("nvm_write={ns}ns {model}"), cfg);
+        }
+    }
+    let r = harness.run(sweep);
+
     println!("Ablation 2: NVM write latency vs persistency-model gap (<Lin,*>)");
     println!(
         "{:<12} {:>16} {:>16} {:>10}",
         "wr latency", "Sync Mreq/s", "Eventual Mreq/s", "gap"
     );
-    for ns in [100u64, 400, 1_600] {
-        let with_latency = |model: DdpModel| -> ClusterConfig {
-            let mut cfg = figure_config(model);
-            cfg.memory.nvm.write_latency = Duration::from_nanos(ns);
-            cfg
-        };
-        let sync = measure(with_latency(DdpModel::baseline())).throughput;
-        let ev = measure(with_latency(DdpModel::new(
-            Consistency::Linearizable,
-            Persistency::Eventual,
-        )))
-        .throughput;
+    for (li, ns) in LATENCY_NS.into_iter().enumerate() {
+        let sync = r[li * 2].summary.throughput;
+        let ev = r[li * 2 + 1].summary.throughput;
         println!(
             "{:<12} {:>16.2} {:>16.2} {:>9.2}x",
             format!("{ns} ns"),
@@ -82,25 +100,31 @@ fn nvm_write_latency() {
 
 /// §8.1.2: the causal buffering gap depends on how lazily Eventual
 /// persistency flushes.
-fn lazy_persist_delay() {
+fn lazy_persist_delay(harness: &mut Harness) {
+    const DELAY_US: [u64; 3] = [1, 5, 20];
+    let persistencies = [Persistency::Synchronous, Persistency::Eventual];
+    let mut sweep = Sweep::new();
+    for us in DELAY_US {
+        for p in persistencies {
+            let model = DdpModel::new(Consistency::Causal, p);
+            let mut cfg = figure_config(model);
+            cfg.lazy_persist_delay = Duration::from_micros(us);
+            sweep.push(format!("lazy_persist={us}us {model}"), cfg);
+        }
+    }
+    let r = harness.run(sweep);
+
     println!("Ablation 3: lazy-persist delay vs causal write buffering");
     println!(
         "{:<12} {:>22} {:>22}",
         "delay", "<Causal,Sync> buffered", "<Causal,Evntl> buffered"
     );
-    for us in [1u64, 5, 20] {
-        let with_delay = |p: Persistency| {
-            let mut cfg = figure_config(DdpModel::new(Consistency::Causal, p));
-            cfg.lazy_persist_delay = Duration::from_micros(us);
-            cfg
-        };
-        let (sync, _) = measure_sim(with_delay(Persistency::Synchronous));
-        let (ev, _) = measure_sim(with_delay(Persistency::Eventual));
+    for (di, us) in DELAY_US.into_iter().enumerate() {
         println!(
             "{:<12} {:>22.1} {:>22.1}",
             format!("{us} us"),
-            sync.mean_buffered_writes,
-            ev.mean_buffered_writes
+            r[di * 2].summary.mean_buffered_writes,
+            r[di * 2 + 1].summary.mean_buffered_writes
         );
     }
     println!();
@@ -108,24 +132,30 @@ fn lazy_persist_delay() {
 
 /// The NIC message-rate bound is what separates chatty INV/ACK/VAL
 /// protocols from one-way UPD protocols at 100 clients.
-fn nic_message_rate() {
+fn nic_message_rate(harness: &mut Harness) {
+    const OCCUPANCY_NS: [u64; 3] = [0, 50, 100];
+    let models = [
+        DdpModel::baseline(),
+        DdpModel::new(Consistency::Eventual, Persistency::Eventual),
+    ];
+    let mut sweep = Sweep::new();
+    for ns in OCCUPANCY_NS {
+        for model in models {
+            let mut cfg: ClusterConfig = figure_config(model);
+            cfg.network.per_message_occupancy = Duration::from_nanos(ns);
+            sweep.push(format!("occupancy={ns}ns {model}"), cfg);
+        }
+    }
+    let r = harness.run(sweep);
+
     println!("Ablation 4: NIC per-message occupancy vs consistency-model gap");
     println!(
         "{:<14} {:>16} {:>18} {:>10}",
         "occupancy", "<Lin,Sync> M/s", "<Evntl,Evntl> M/s", "gap"
     );
-    for ns in [0u64, 50, 100] {
-        let with_occ = |model: DdpModel| -> ClusterConfig {
-            let mut cfg = figure_config(model);
-            cfg.network.per_message_occupancy = Duration::from_nanos(ns);
-            cfg
-        };
-        let lin = measure(with_occ(DdpModel::baseline())).throughput;
-        let ev = measure(with_occ(DdpModel::new(
-            Consistency::Eventual,
-            Persistency::Eventual,
-        )))
-        .throughput;
+    for (oi, ns) in OCCUPANCY_NS.into_iter().enumerate() {
+        let lin = r[oi * 2].summary.throughput;
+        let ev = r[oi * 2 + 1].summary.throughput;
         println!(
             "{:<14} {:>16.2} {:>18.2} {:>9.2}x",
             format!("{ns} ns"),

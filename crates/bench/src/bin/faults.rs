@@ -7,10 +7,12 @@
 //!
 //! Part 2 crashes one node mid-measurement and lets it rejoin, printing
 //! the crash/rejoin timestamps and how many keys the rejoining node had to
-//! catch up from its peers.
+//! catch up from its peers. The crash schedule is scaled to each model's
+//! fault-free run length, which part 1 already measured — the harness
+//! records carry it, so no extra probe runs are needed.
 
-use ddp_bench::{measure_sim, print_rule};
-use ddp_core::{ClusterConfig, Consistency, DdpModel, Persistency};
+use ddp_core::{ClusterConfig, DdpModel};
+use ddp_harness::{print_rule, ratio, Harness, Sweep};
 use ddp_sim::Duration;
 
 const LOSS_RATES: [f64; 4] = [0.0, 0.001, 0.01, 0.05];
@@ -24,7 +26,25 @@ fn sweep_config(model: DdpModel) -> ClusterConfig {
 }
 
 fn main() {
+    let mut harness = Harness::from_env("faults");
     println!("Fault sweep: 25 DDP models under fabric loss and a mid-run crash\n");
+
+    // Part 1 grid: model-major, loss-minor — trial index = model_grid_index
+    // * LOSS_RATES.len() + loss_index, with loss 0.0 as the per-model
+    // fault-free baseline.
+    let mut loss_sweep = Sweep::new();
+    for model in DdpModel::all() {
+        for loss in LOSS_RATES {
+            let cfg = if loss > 0.0 {
+                sweep_config(model).with_loss(loss)
+            } else {
+                sweep_config(model)
+            };
+            loss_sweep.push(format!("{model} p={loss}"), cfg);
+        }
+    }
+    let loss_records = harness.run(loss_sweep);
+    let stride = LOSS_RATES.len();
 
     println!("Part 1 - lossy fabric (drop = dup = p, throughput relative to p=0)");
     print!("{:<28}", "model");
@@ -33,31 +53,43 @@ fn main() {
     }
     println!(" {:>8} {:>8} {:>8} {:>8}", "drops", "dups", "rtx", "t/o");
     print_rule(7);
-    for c in Consistency::ALL {
-        for p in Persistency::ALL {
-            let model = DdpModel::new(c, p);
-            let (base, _) = measure_sim(sweep_config(model));
-            let mut cells = Vec::new();
-            let mut worst = None;
-            for &loss in &LOSS_RATES[1..] {
-                let (s, sim) = measure_sim(sweep_config(model).with_loss(loss));
-                cells.push(s.throughput / base.throughput);
-                let st = sim.cluster().stats();
-                worst = Some((
-                    st.messages_dropped,
-                    st.messages_duplicated,
-                    st.retransmits,
-                    st.client_timeouts,
-                ));
-            }
-            print!("{:<28}", model.to_string());
-            for v in &cells {
-                print!(" {v:>8.2}");
-            }
-            let (d, u, r, t) = worst.unwrap();
-            println!(" {d:>8} {u:>8} {r:>8} {t:>8}");
+    for model in DdpModel::all() {
+        let row = &loss_records[model.grid_index() * stride..(model.grid_index() + 1) * stride];
+        let base = &row[0];
+        print!("{:<28}", model.to_string());
+        for lossy in &row[1..] {
+            print!(
+                " {:>8.2}",
+                ratio(lossy.summary.throughput, base.summary.throughput)
+            );
         }
+        let worst = &row[stride - 1].counters;
+        println!(
+            " {:>8} {:>8} {:>8} {:>8}",
+            worst.messages_dropped,
+            worst.messages_duplicated,
+            worst.retransmits,
+            worst.client_timeouts
+        );
     }
+
+    // Part 2 grid: one crash trial per model. Model throughputs span >10x,
+    // so a fixed crash time would fall after fast models finish and inside
+    // slow models' warmup; scale it to the model's fault-free run length
+    // from the part-1 baseline record instead.
+    let mut crash_sweep = Sweep::new();
+    for model in DdpModel::all() {
+        let run_ns = loss_records[model.grid_index() * stride].counters.run_ns() as f64;
+        let at = Duration::from_nanos((run_ns * 0.40) as u64);
+        let down_for = Duration::from_nanos((run_ns * 0.25) as u64);
+        crash_sweep.push(
+            format!("{model} crash"),
+            sweep_config(model)
+                .with_loss(0.01)
+                .with_crash(2, at, down_for),
+        );
+    }
+    let crash_records = harness.run(crash_sweep);
 
     println!("\nPart 2 - mid-run crash of node 2 under 1% loss");
     println!("(crash at 40% of the model's fault-free run, down for 25% of it)");
@@ -66,41 +98,29 @@ fn main() {
         "model", "thr", "rtx", "t/o", "lease", "catchup", "down(us)"
     );
     print_rule(6);
-    for c in Consistency::ALL {
-        for p in Persistency::ALL {
-            let model = DdpModel::new(c, p);
-            // Model throughputs span >10x, so a fixed crash time would fall
-            // after fast models finish and inside slow models' warmup.
-            // Scale it to a fault-free probe of the same configuration.
-            let (_, probe) = measure_sim(sweep_config(model));
-            let pst = probe.cluster().stats();
-            let run_ns = (pst.window_start.as_nanos() + pst.measured_time.as_nanos()) as f64;
-            let at = Duration::from_nanos((run_ns * 0.40) as u64);
-            let down_for = Duration::from_nanos((run_ns * 0.25) as u64);
-            let cfg = sweep_config(model).with_loss(0.01).with_crash(2, at, down_for);
-            let (s, sim) = measure_sim(cfg);
-            let st = sim.cluster().stats();
-            // One scheduled crash -> exactly one (node, time) pair each.
-            let downtime = st
-                .crashes
-                .iter()
-                .zip(&st.rejoins)
-                .map(|(&(n, down), &(m, up))| {
-                    assert_eq!(n, m, "crash/rejoin traces must pair up");
-                    up.saturating_since(down)
-                })
-                .fold(Duration::ZERO, |acc, d| acc + d);
-            println!(
-                "{:<28} {:>8.2e} {:>8} {:>8} {:>8} {:>8} {:>8.1}",
-                model.to_string(),
-                s.throughput,
-                st.retransmits,
-                st.client_timeouts,
-                st.transient_expirations,
-                st.catchup_keys,
-                downtime.as_nanos() as f64 / 1_000.0,
-            );
-        }
+    for model in DdpModel::all() {
+        let record = &crash_records[model.grid_index()];
+        let c = &record.counters;
+        // One scheduled crash -> exactly one (node, time) pair each.
+        let downtime_ns: u64 = c
+            .crashes
+            .iter()
+            .zip(&c.rejoins)
+            .map(|(&(n, down), &(m, up))| {
+                assert_eq!(n, m, "crash/rejoin traces must pair up");
+                up.saturating_sub(down)
+            })
+            .sum();
+        println!(
+            "{:<28} {:>8.2e} {:>8} {:>8} {:>8} {:>8} {:>8.1}",
+            model.to_string(),
+            record.summary.throughput,
+            c.retransmits,
+            c.client_timeouts,
+            c.transient_expirations,
+            c.catchup_keys,
+            downtime_ns as f64 / 1_000.0,
+        );
     }
     println!(
         "\ntakeaway: ACK-round models (Lin/RdEnf/Txn) absorb loss via retransmission;\n\
@@ -108,4 +128,5 @@ fn main() {
          throughput barely moves. A crashed node costs its share of capacity while\n\
          down and a bounded catch-up on rejoin."
     );
+    harness.finish();
 }

@@ -6,30 +6,23 @@
 //! is normalized to `<Linearizable, Synchronous>`, groups are consistency
 //! models, and the bars within a group are persistency models.
 
-use ddp_bench::{figure_config, measure, print_row, print_rule};
-use ddp_core::{Consistency, DdpModel, Persistency, RunSummary};
+use ddp_core::{Consistency, Persistency, RunSummary};
+use ddp_harness::{figure_config, print_row, print_rule, ratio, Harness, ModelGrid, Sweep};
 
 /// Extracts one plotted metric from a run summary.
 type Metric = fn(&RunSummary) -> f64;
 
 fn main() {
+    let mut harness = Harness::from_env("fig6");
     println!("Figure 6: performance of the 25 DDP models");
-    println!("(YCSB-A, 100 clients, 5 servers; all values normalized to <Linearizable, Synchronous>)\n");
+    println!(
+        "(YCSB-A, 100 clients, 5 servers; all values normalized to <Linearizable, Synchronous>)\n"
+    );
 
-    // Run everything once, reuse for all six plots.
-    let mut results: Vec<(DdpModel, RunSummary)> = Vec::new();
-    for c in Consistency::ALL {
-        for p in Persistency::ALL {
-            let model = DdpModel::new(c, p);
-            let summary = measure(figure_config(model));
-            results.push((model, summary));
-        }
-    }
-    let base = results
-        .iter()
-        .find(|(m, _)| *m == DdpModel::baseline())
-        .map(|(_, s)| s.clone())
-        .expect("baseline among the 25");
+    // Run everything once (in parallel), reuse for all six plots.
+    let records = harness.run(Sweep::grid25(figure_config));
+    let grid = ModelGrid::new(&records);
+    let base = &grid.baseline().summary;
 
     let plots: [(&str, Metric); 6] = [
         ("(a) Throughput", |s| s.throughput),
@@ -51,19 +44,7 @@ fn main() {
         for c in Consistency::ALL {
             let values: Vec<f64> = Persistency::ALL
                 .iter()
-                .map(|&p| {
-                    let s = &results
-                        .iter()
-                        .find(|(m, _)| *m == DdpModel::new(c, p))
-                        .expect("all 25 ran")
-                        .1;
-                    let b = metric(&base);
-                    if b == 0.0 {
-                        0.0
-                    } else {
-                        metric(s) / b
-                    }
-                })
+                .map(|&p| ratio(metric(&grid.get(c, p).summary), metric(base)))
                 .collect();
             print_row(&c.to_string(), &values);
         }
@@ -72,6 +53,7 @@ fn main() {
     println!("paper anchors: (a) <Eventual,Eventual> ~3.3x; Causal ~2-3x; Linearizable lowest;");
     println!("               (b) Read-Enforced persistency raises read latency (NVM pressure);");
     println!("               (c) Causal/Eventual writes far below 1.0; Strict persistency ~1.0.");
+    harness.finish();
 }
 
 fn abbreviate(p: Persistency) -> &'static str {

@@ -6,11 +6,12 @@
 //! per-store rows and the cross-store average, confirming the protocol
 //! ordering is store-independent.
 
-use ddp_bench::{figure_config, measure, print_rule};
 use ddp_core::{Consistency, DdpModel, Persistency};
+use ddp_harness::{figure_config, print_rule, ratio, Harness, Sweep};
 use ddp_store::StoreKind;
 
 fn main() {
+    let mut harness = Harness::from_env("fig6_stores");
     println!("Figure 6(a) by store backend: normalized throughput");
     println!("(each row normalized to that store's <Linearizable, Synchronous>)\n");
 
@@ -34,6 +35,16 @@ fn main() {
         ),
     ];
 
+    // Store-major grid: trial index = store * models.len() + model, so the
+    // printing below addresses records arithmetically, never by search.
+    let mut sweep = Sweep::new();
+    for kind in StoreKind::ALL {
+        for (name, m) in &models {
+            sweep.push(format!("{kind}/{name}"), figure_config(*m).with_store(kind));
+        }
+    }
+    let records = harness.run(sweep);
+
     print!("{:<28}", "");
     for (name, _) in &models {
         print!(" {name:>12}");
@@ -41,12 +52,15 @@ fn main() {
     println!();
     print_rule(models.len());
 
-    let mut sums = vec![0.0f64; models.len()];
-    for kind in StoreKind::ALL {
-        let base = measure(figure_config(DdpModel::baseline()).with_store(kind)).throughput;
-        let values: Vec<f64> = models
+    let stride = models.len();
+    let mut sums = vec![0.0f64; stride];
+    for (si, kind) in StoreKind::ALL.into_iter().enumerate() {
+        let row = &records[si * stride..(si + 1) * stride];
+        // models[0] is <Linearizable, Synchronous>: this store's baseline.
+        let base = row[0].summary.throughput;
+        let values: Vec<f64> = row
             .iter()
-            .map(|(_, m)| measure(figure_config(*m).with_store(kind)).throughput / base)
+            .map(|r| ratio(r.summary.throughput, base))
             .collect();
         for (s, v) in sums.iter_mut().zip(&values) {
             *s += v;
@@ -54,11 +68,15 @@ fn main() {
         print_store_row(&kind.to_string(), &values);
     }
     print_rule(models.len());
-    let avg: Vec<f64> = sums.iter().map(|s| s / StoreKind::ALL.len() as f64).collect();
+    let avg: Vec<f64> = sums
+        .iter()
+        .map(|s| s / StoreKind::ALL.len() as f64)
+        .collect();
     print_store_row("average (paper's metric)", &avg);
 
     println!("\nThe protocol ordering must hold for every backend: the replicated");
     println!("state machine is store-agnostic, so only constants shift.");
+    harness.finish();
 }
 
 fn print_store_row(label: &str, values: &[f64]) {

@@ -1,79 +1,102 @@
 //! §8.1–8.2 prose statistics: the quantitative claims sprinkled through the
 //! paper's evaluation text, measured on our engine.
 
-use ddp_bench::{figure_config, measure, measure_sim};
 use ddp_core::{Consistency, DdpModel, Persistency};
+use ddp_harness::{figure_config, Harness, Sweep};
 use ddp_sim::Duration;
 
 fn main() {
+    let mut harness = Harness::from_env("stats");
     println!("Prose statistics of the paper's evaluation (measured)\n");
 
+    // One labeled sweep holds every one-off configuration the prose cites;
+    // the indices below follow push order.
+    let mut sweep = Sweep::new();
+    let base = sweep.push("<Lin,Sync> baseline", figure_config(DdpModel::baseline()));
+    let ev = sweep.push(
+        "<Eventual,Eventual>",
+        figure_config(DdpModel::new(Consistency::Eventual, Persistency::Eventual)),
+    );
+    let re = sweep.push(
+        "<RE,RE>",
+        figure_config(DdpModel::new(
+            Consistency::ReadEnforced,
+            Persistency::ReadEnforced,
+        )),
+    );
+    let txn_model = DdpModel::new(Consistency::Transactional, Persistency::Synchronous);
+    let txn100 = sweep.push(
+        "<Txn,Sync> 100 clients",
+        figure_config(txn_model).with_clients(100),
+    );
+    let txn10 = sweep.push(
+        "<Txn,Sync> 10 clients",
+        figure_config(txn_model).with_clients(10),
+    );
+    let causal_sync = sweep.push(
+        "<Causal,Sync>",
+        figure_config(DdpModel::new(Consistency::Causal, Persistency::Synchronous)),
+    );
+    let causal_ev = sweep.push(
+        "<Causal,Eventual>",
+        figure_config(DdpModel::new(Consistency::Causal, Persistency::Eventual)),
+    );
+    let lin10 = sweep.push(
+        "<Lin,Sync> 10 clients",
+        figure_config(DdpModel::baseline()).with_clients(10),
+    );
+    let lin2us = sweep.push(
+        "<Lin,Sync> rtt=2us",
+        figure_config(DdpModel::baseline()).with_round_trip(Duration::from_micros(2)),
+    );
+
+    let r = harness.run(sweep);
+
     // §8.1.2: <Eventual, Eventual> vs <Linearizable, Synchronous>.
-    let base = measure(figure_config(DdpModel::baseline()));
-    let ev = measure(figure_config(DdpModel::new(
-        Consistency::Eventual,
-        Persistency::Eventual,
-    )));
     println!(
         "<Eventual,Eventual> / <Linearizable,Synchronous> throughput: {:.2}x   (paper: 3.3x)",
-        ev.throughput / base.throughput
+        r[ev].summary.throughput / r[base].summary.throughput
     );
 
     // §8.1.2: read/persist conflicts under <Read-Enforced, Read-Enforced>.
-    let (re, _) = {
-        let cfg = figure_config(DdpModel::new(
-            Consistency::ReadEnforced,
-            Persistency::ReadEnforced,
-        ));
-        measure_sim(cfg)
-    };
     println!(
         "reads conflicting with a yet-to-persist write in <RE,RE>: {:.1}%   (paper: >30%)",
-        100.0 * re.read_persist_conflict_rate
+        100.0 * r[re].summary.read_persist_conflict_rate
     );
 
     // §8.1.1: transaction conflicts at 100 clients; §8.2: 100 -> 10 clients.
-    let txn_model = DdpModel::new(Consistency::Transactional, Persistency::Synchronous);
-    let (t100, _) = measure_sim(figure_config(txn_model).with_clients(100));
-    let (t10, _) = measure_sim(figure_config(txn_model).with_clients(10));
     println!(
         "transaction conflict rate at 100 clients: {:.1}%   (paper: ~30%)",
-        100.0 * t100.txn_conflict_rate
+        100.0 * r[txn100].summary.txn_conflict_rate
     );
     println!(
         "conflict-rate drop going 100 -> 10 clients: {:.0}%   (paper: ~50%)",
-        100.0 * (1.0 - t10.txn_conflict_rate / t100.txn_conflict_rate.max(1e-9))
+        100.0
+            * (1.0
+                - r[txn10].summary.txn_conflict_rate
+                    / r[txn100].summary.txn_conflict_rate.max(1e-9))
     );
 
     // §8.1.2: causal buffering, Synchronous vs Eventual persistency.
-    let (cs, _) = measure_sim(figure_config(DdpModel::new(
-        Consistency::Causal,
-        Persistency::Synchronous,
-    )));
-    let (ce, _) = measure_sim(figure_config(DdpModel::new(
-        Consistency::Causal,
-        Persistency::Eventual,
-    )));
     println!(
         "buffered writes, <Causal,Sync> vs <Causal,Eventual>: {:.1} vs {:.1} ({:.0}x)   (paper: 1-2 orders of magnitude)",
-        cs.mean_buffered_writes,
-        ce.mean_buffered_writes,
-        cs.mean_buffered_writes / ce.mean_buffered_writes.max(0.01)
+        r[causal_sync].summary.mean_buffered_writes,
+        r[causal_ev].summary.mean_buffered_writes,
+        r[causal_sync].summary.mean_buffered_writes / r[causal_ev].summary.mean_buffered_writes.max(0.01)
     );
 
     // §8.2: <Lin,Sync> client sweep 100 -> 10. The paper reports total
     // throughput rising 2.2x; in our closed-loop model the rise shows up as
     // per-client service rate (see EXPERIMENTS.md).
-    let lin10 = measure(figure_config(DdpModel::baseline()).with_clients(10));
     println!(
         "<Lin,Sync> per-client throughput gain going 100 -> 10 clients: {:.2}x   (paper: 2.2x total)",
-        (lin10.throughput / 10.0) / (base.throughput / 100.0)
+        (r[lin10].summary.throughput / 10.0) / (r[base].summary.throughput / 100.0)
     );
 
     // §8.2: <Lin,Sync> RTT 1us -> 2us.
-    let lin2us = measure(figure_config(DdpModel::baseline()).with_round_trip(Duration::from_micros(2)));
     println!(
         "<Lin,Sync> throughput change going 1us -> 2us RTT: {:+.1}%   (paper: -12%)",
-        100.0 * (lin2us.throughput / base.throughput - 1.0)
+        100.0 * (r[lin2us].summary.throughput / r[base].summary.throughput - 1.0)
     );
+    harness.finish();
 }

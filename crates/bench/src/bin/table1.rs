@@ -14,21 +14,32 @@
 //!
 //! Paper's measured ratios: 1 / 1.32 / 4.08 (3 nodes, write-heavy clients).
 
-use ddp_bench::figure_config;
-use ddp_core::{Consistency, DdpModel, Persistency, Simulation};
+use ddp_core::{Consistency, DdpModel, Persistency};
+use ddp_harness::{figure_config, ratio, Harness, Sweep};
 use ddp_workload::WorkloadSpec;
 
 fn main() {
+    let mut harness = Harness::from_env("table1");
     println!("Table 1: relative throughput of three environments");
     println!("(3-node cluster, write-only clients, normalized to row 1)\n");
 
     let environments = [
-        ("Yes", "Yes", Consistency::Linearizable, Persistency::Synchronous),
-        ("Yes", "No", Consistency::Linearizable, Persistency::Eventual),
+        (
+            "Yes",
+            "Yes",
+            Consistency::Linearizable,
+            Persistency::Synchronous,
+        ),
+        (
+            "Yes",
+            "No",
+            Consistency::Linearizable,
+            Persistency::Eventual,
+        ),
         ("No", "No", Consistency::Eventual, Persistency::Eventual),
     ];
 
-    let mut rows = Vec::new();
+    let mut sweep = Sweep::new();
     for (vol, nvm, c, p) in environments {
         let mut cfg = figure_config(DdpModel::new(c, p));
         cfg.nodes = 3;
@@ -38,11 +49,11 @@ fn main() {
         // EXPERIMENTS.md.)
         cfg.clients = 36;
         cfg.workload = WorkloadSpec::workload_w(); // write-dominated
-        let summary = Simulation::new(cfg).run().summary;
-        rows.push((vol, nvm, summary.throughput));
+        sweep.push(format!("vol={vol} nvm={nvm}"), cfg);
     }
+    let records = harness.run(sweep);
 
-    let base = rows[0].2;
+    let base = records[0].summary.throughput;
     println!(
         "{:<18} | {:<16} | {:>10}",
         "Volatile Updates", "NVM Updates", "Normalized"
@@ -52,8 +63,12 @@ fn main() {
         "in Critical Path?", "in Critical Path?", "Throughput"
     );
     println!("{}", "-".repeat(52));
-    for (vol, nvm, thr) in &rows {
-        println!("{vol:<18} | {nvm:<16} | {:>10.2}", thr / base);
+    for ((vol, nvm, _, _), record) in environments.iter().zip(&records) {
+        println!(
+            "{vol:<18} | {nvm:<16} | {:>10.2}",
+            ratio(record.summary.throughput, base)
+        );
     }
     println!("\npaper: 1.00 / 1.32 / 4.08");
+    harness.finish();
 }

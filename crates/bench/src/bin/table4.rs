@@ -3,9 +3,11 @@
 //! Every attribute is derived from the model semantics by
 //! [`ddp_core::ModelTraits::derive`]; the unit tests in `ddp-core` assert
 //! the derivation matches the paper's rows exactly. This binary prints the
-//! table.
+//! table (and, with `--json PATH`, emits each derived row as a JSON-lines
+//! record — no simulations run here).
 
 use ddp_core::{Level, ModelTraits};
+use ddp_harness::{Harness, JsonObject};
 
 fn arrow(level: Level) -> &'static str {
     match level {
@@ -23,14 +25,34 @@ fn mark(b: bool) -> &'static str {
     }
 }
 
+fn row_json(index: usize, row: &ModelTraits) -> String {
+    let mut o = JsonObject::new();
+    o.u64("index", index as u64);
+    o.str("label", &row.model.to_string());
+    o.str("consistency", &row.model.consistency.to_string());
+    o.str("persistency", &row.model.persistency.to_string());
+    o.str("durability", arrow(row.durability));
+    o.bool("writes_optimized", row.writes_optimized);
+    o.bool("reads_optimized", row.reads_optimized);
+    o.str("traffic", arrow(row.traffic));
+    o.str("performance", arrow(row.performance));
+    o.bool("monotonic_reads", row.monotonic_reads);
+    o.bool("non_stale_reads", row.non_stale_reads);
+    o.str("intuitiveness", arrow(row.intuitiveness));
+    o.str("programmability", arrow(row.programmability));
+    o.str("implementability", arrow(row.implementability));
+    o.finish()
+}
+
 fn main() {
+    let mut harness = Harness::from_env("table4");
     println!("Table 4: comparing different DDP models (derived from model semantics)\n");
     println!(
         "{:<34} {:>5} | {:>3} {:>3} {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5}",
         "Model", "Dura", "Wr", "Rd", "Traf", "Perf", "Monot", "NonSt", "Intui", "Progr", "Imple"
     );
     println!("{}", "-".repeat(100));
-    for row in ModelTraits::table4() {
+    for (i, row) in ModelTraits::table4().iter().enumerate() {
         println!(
             "{:<34} {:>5} | {:>3} {:>3} {:>5} {:>5} | {:>5} {:>5} {:>5} | {:>5} {:>5}",
             row.model.to_string(),
@@ -45,7 +67,9 @@ fn main() {
             arrow(row.programmability),
             arrow(row.implementability),
         );
+        harness.emit_json_line(&row_json(i, row));
     }
     println!("\ncolumns: durability | writes/reads optimized, traffic, overall performance |");
     println!("         monotonic reads, non-stale reads, intuitiveness | programmability, implementability");
+    harness.finish();
 }

@@ -1,4 +1,4 @@
-//! # ddp-bench — the evaluation harness of the DDP paper reproduction
+//! # ddp-bench — the evaluation binaries of the DDP paper reproduction
 //!
 //! One binary per table/figure regenerates the corresponding result:
 //!
@@ -7,85 +7,25 @@
 //! | `table1` | Table 1 — motivation: three environments' relative throughput |
 //! | `table4` | Table 4 — qualitative model comparison (derived) |
 //! | `fig6`   | Figure 6(a–f) — 25 DDP models, throughput + latencies |
+//! | `fig6_stores` | Figure 6(a) per store backend |
 //! | `fig7`   | Figure 7 — client-count sensitivity (10/100/150) |
 //! | `fig8`   | Figure 8 — NIC-to-NIC RTT sensitivity (0.5/1/2 µs) |
 //! | `fig9`   | Figure 9 — workload-mix sensitivity (B/A/W) |
 //! | `stats`  | §8.1–8.2 prose statistics (conflict rates, buffering, ...) |
 //! | `ablation` | design-choice ablations (NVM banks/latency, lazy delays, NIC message rate) |
+//! | `faults` | robustness sweep — lossy fabric + mid-run crash across all 25 models |
 //!
-//! Run them with `cargo run -p ddp-bench --release --bin <target>`.
+//! Run them with `cargo run -p ddp-bench --release --bin <target>`. Every
+//! binary understands the shared sweep flags `--threads N` (parallel
+//! deterministic execution), `--json PATH` (JSON-lines records), and
+//! `--quick` (smoke-test request counts); see [`ddp_harness`].
+//!
+//! The sweep machinery itself — grid building, the parallel executor, the
+//! JSON-lines writer, and the table helpers — lives in [`ddp_harness`];
+//! this crate re-exports the pieces the binaries and external callers use
+//! so existing `ddp_bench::...` imports keep working.
+//!
 //! The `benches/` directory holds Criterion microbenchmarks of the
 //! substrate crates (`cargo bench --workspace`).
 
-use ddp_core::{ClusterConfig, DdpModel, RunSummary, Simulation};
-
-/// Runs one experiment and returns its condensed summary.
-#[must_use]
-pub fn measure(cfg: ClusterConfig) -> RunSummary {
-    Simulation::new(cfg).run().summary
-}
-
-/// Runs one experiment and returns both the summary and the simulation (for
-/// statistic counters).
-#[must_use]
-pub fn measure_sim(cfg: ClusterConfig) -> (RunSummary, Simulation) {
-    let mut sim = Simulation::new(cfg);
-    let summary = sim.run().summary;
-    (summary, sim)
-}
-
-/// The experiment length used by the figure harnesses. Large enough for
-/// stable ratios, small enough that a full figure regenerates in seconds.
-#[must_use]
-pub fn figure_config(model: DdpModel) -> ClusterConfig {
-    let mut cfg = ClusterConfig::micro21(model);
-    cfg.warmup_requests = 2_000;
-    cfg.measured_requests = 20_000;
-    cfg
-}
-
-/// Prints one table row: a label plus values formatted to two decimals.
-pub fn print_row(label: &str, values: &[f64]) {
-    print!("{label:<28}");
-    for v in values {
-        print!(" {v:>8.2}");
-    }
-    println!();
-}
-
-/// Prints a rule line sized to `cols` value columns.
-pub fn print_rule(cols: usize) {
-    println!("{}", "-".repeat(28 + 9 * cols));
-}
-
-/// An ASCII bar for quick visual comparison (one '#' per 0.1 units).
-#[must_use]
-pub fn bar(value: f64) -> String {
-    let n = (value * 10.0).round().clamp(0.0, 80.0) as usize;
-    "#".repeat(n.max(1))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn measure_produces_throughput() {
-        let cfg = ClusterConfig::micro21(DdpModel::baseline()).quick();
-        let s = measure(cfg);
-        assert!(s.throughput > 0.0);
-    }
-
-    #[test]
-    fn bar_scales() {
-        assert_eq!(bar(1.0).len(), 10);
-        assert_eq!(bar(3.3).len(), 33);
-        assert_eq!(bar(0.0).len(), 1);
-    }
-
-    #[test]
-    fn figure_config_lengths() {
-        let cfg = figure_config(DdpModel::baseline());
-        assert_eq!(cfg.measured_requests, 20_000);
-    }
-}
+pub use ddp_harness::{bar, figure_config, measure, measure_sim, print_row, print_rule};

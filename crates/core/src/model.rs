@@ -88,6 +88,19 @@ impl Consistency {
     pub fn is_transactional(self) -> bool {
         matches!(self, Consistency::Transactional)
     }
+
+    /// Position of this model in [`Consistency::ALL`] (the paper's order,
+    /// strictest first).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Consistency::Linearizable => 0,
+            Consistency::ReadEnforced => 1,
+            Consistency::Transactional => 2,
+            Consistency::Causal => 3,
+            Consistency::Eventual => 4,
+        }
+    }
 }
 
 impl Persistency {
@@ -130,6 +143,19 @@ impl Persistency {
     #[must_use]
     pub fn is_scoped(self) -> bool {
         matches!(self, Persistency::Scope)
+    }
+
+    /// Position of this model in [`Persistency::ALL`] (the paper's order,
+    /// strictest first).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Persistency::Strict => 0,
+            Persistency::Synchronous => 1,
+            Persistency::ReadEnforced => 2,
+            Persistency::Scope => 3,
+            Persistency::Eventual => 4,
+        }
     }
 }
 
@@ -207,6 +233,43 @@ impl DdpModel {
     pub fn baseline() -> Self {
         DdpModel::new(Consistency::Linearizable, Persistency::Synchronous)
     }
+
+    /// Number of DDP models: 5 consistency × 5 persistency.
+    pub const COUNT: usize = Consistency::ALL.len() * Persistency::ALL.len();
+
+    /// Row-major position of this model in the paper's 5×5 grid
+    /// (consistency-major, the order of [`DdpModel::all`]). Gives sweep
+    /// harnesses O(1) result lookup instead of a linear scan.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ddp_core::DdpModel;
+    ///
+    /// for (i, m) in DdpModel::all().into_iter().enumerate() {
+    ///     assert_eq!(m.grid_index(), i);
+    ///     assert_eq!(DdpModel::from_grid_index(i), m);
+    /// }
+    /// ```
+    #[must_use]
+    pub fn grid_index(self) -> usize {
+        self.consistency.index() * Persistency::ALL.len() + self.persistency.index()
+    }
+
+    /// Inverse of [`DdpModel::grid_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= DdpModel::COUNT`.
+    #[must_use]
+    pub fn from_grid_index(index: usize) -> Self {
+        assert!(index < Self::COUNT, "grid index {index} out of range");
+        let width = Persistency::ALL.len();
+        DdpModel::new(
+            Consistency::ALL[index / width],
+            Persistency::ALL[index % width],
+        )
+    }
 }
 
 impl fmt::Display for DdpModel {
@@ -229,6 +292,22 @@ mod tests {
     }
 
     #[test]
+    fn grid_index_round_trips_in_paper_order() {
+        assert_eq!(DdpModel::COUNT, 25);
+        for (i, m) in DdpModel::all().into_iter().enumerate() {
+            assert_eq!(m.grid_index(), i, "{m} out of grid order");
+            assert_eq!(DdpModel::from_grid_index(i), m);
+        }
+        assert_eq!(DdpModel::baseline().grid_index(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn grid_index_rejects_out_of_range() {
+        let _ = DdpModel::from_grid_index(25);
+    }
+
+    #[test]
     fn orders_are_strictest_first() {
         assert!(Consistency::Linearizable < Consistency::Eventual);
         assert!(Persistency::Strict < Persistency::Eventual);
@@ -248,9 +327,7 @@ mod tests {
         assert!(Consistency::Causal
             .visibility_point()
             .contains("happens-before"));
-        assert!(Consistency::Eventual
-            .visibility_point()
-            .contains("future"));
+        assert!(Consistency::Eventual.visibility_point().contains("future"));
     }
 
     #[test]
@@ -265,9 +342,7 @@ mod tests {
             .durability_point()
             .contains("before the update is read"));
         assert!(Persistency::Scope.durability_point().contains("scope end"));
-        assert!(Persistency::Eventual
-            .durability_point()
-            .contains("future"));
+        assert!(Persistency::Eventual.durability_point().contains("future"));
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Shared command-line arguments for every bench bin.
+//!
+//! All sweep binaries understand the same three flags, so figure
+//! regeneration, CI smoke runs, and ad-hoc sweeps compose uniformly:
+//!
+//! * `--threads N` — executor worker threads (default: `DDP_THREADS` or
+//!   the host's available parallelism);
+//! * `--json PATH` — append every run record to `PATH` as JSON lines;
+//! * `--quick` — shrink each trial to `ClusterConfig::quick()` request
+//!   counts (smoke-test scale).
+
+use std::path::PathBuf;
+
+/// Parsed harness flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Executor worker threads (≥ 1).
+    pub threads: usize,
+    /// JSON-lines output path, if requested.
+    pub json: Option<PathBuf>,
+    /// Shrink every trial to smoke-test request counts.
+    pub quick: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            threads: default_threads(),
+            json: None,
+            quick: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Sequential, table-only defaults (for tests and library callers).
+    #[must_use]
+    pub fn sequential() -> Self {
+        HarnessArgs {
+            threads: 1,
+            json: None,
+            quick: false,
+        }
+    }
+
+    /// Parses harness flags from an argument list (without the program
+    /// name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown or malformed argument.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut parsed = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    parsed.threads =
+                        v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--threads needs a positive integer, got {v:?}")
+                        })?;
+                }
+                "--json" => {
+                    let v = it.next().ok_or("--json needs a path")?;
+                    parsed.json = Some(PathBuf::from(v));
+                }
+                "--quick" => parsed.quick = true,
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Parses the process arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown or malformed argument.
+    pub fn from_env() -> Result<Self, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The usage string bins print on a parse error.
+    #[must_use]
+    pub fn usage(bin: &str) -> String {
+        format!(
+            "usage: {bin} [--threads N] [--json PATH] [--quick]\n\
+             \x20 --threads N   executor worker threads (default: DDP_THREADS or all cores)\n\
+             \x20 --json PATH   write every run record to PATH as JSON lines\n\
+             \x20 --quick       smoke-test request counts (ClusterConfig::quick)"
+        )
+    }
+}
+
+/// The default worker-thread count: `DDP_THREADS` if set to a positive
+/// integer, else the host's available parallelism, else 1.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::env::var("DDP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--threads", "4", "--json", "/tmp/out.jsonl", "--quick"]).unwrap();
+        assert_eq!(a.threads, 4);
+        assert_eq!(
+            a.json.as_deref(),
+            Some(std::path::Path::new("/tmp/out.jsonl"))
+        );
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "four"]).is_err());
+        assert!(parse(&["--json"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn empty_args_use_defaults() {
+        let a = parse(&[]).unwrap();
+        assert!(a.threads >= 1);
+        assert!(a.json.is_none() && !a.quick);
+    }
+}

@@ -1,0 +1,235 @@
+//! The parallel deterministic executor.
+//!
+//! Trials are independent seeded simulations, so a sweep parallelizes
+//! perfectly — the only thing that must *not* change with the thread
+//! count is the output. The executor therefore:
+//!
+//! * pulls trials off a shared atomic work queue (no static partitioning,
+//!   so a slow model cannot strand an idle worker);
+//! * writes each finished [`RunRecord`] into the result slot keyed by the
+//!   trial's grid index, making the returned stream independent of
+//!   completion order;
+//! * keeps host wall-clock out of the records entirely — progress and
+//!   timing go to **stderr**, so stdout tables and `--json` streams stay
+//!   byte-identical for any `--threads N`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ddp_core::{ClusterConfig, Simulation};
+
+use crate::args::HarnessArgs;
+use crate::json::JsonLinesWriter;
+use crate::record::RunRecord;
+use crate::sweep::Sweep;
+
+/// Runs every trial of a sweep on `threads` workers and returns the
+/// records in grid order (index `i` of the result is trial `i` of the
+/// sweep, regardless of which worker ran it or when it finished).
+///
+/// Progress is reported on stderr as `[name] trial k/N <label> (t s)`
+/// plus a closing total; stdout is never touched.
+#[must_use]
+pub fn run_sweep_named(name: &str, sweep: Sweep, threads: usize) -> Vec<RunRecord> {
+    let trials = sweep.into_trials();
+    let n = trials.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let trial = &trials[i];
+                let trial_started = Instant::now();
+                let mut sim = Simulation::new(trial.cfg.clone());
+                sim.run();
+                let record = RunRecord::from_simulation(trial.index, trial.label.clone(), &mut sim);
+                *slots[i].lock().expect("result slot poisoned") = Some(record);
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[{name}] trial {done}/{n} {} ({:.2}s)",
+                    trial.label,
+                    trial_started.elapsed().as_secs_f64()
+                );
+            });
+        }
+    });
+
+    eprintln!(
+        "[{name}] {n} trials in {:.2}s (threads={threads})",
+        started.elapsed().as_secs_f64()
+    );
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every scheduled trial produces a record")
+        })
+        .collect()
+}
+
+/// [`run_sweep_named`] with an anonymous progress prefix.
+#[must_use]
+pub fn run_sweep(sweep: Sweep, threads: usize) -> Vec<RunRecord> {
+    run_sweep_named("sweep", sweep, threads)
+}
+
+/// The per-binary facade every bench bin runs through: parses the shared
+/// flags, owns the optional JSON-lines writer, applies `--quick`, and
+/// reports total wall-clock on exit.
+///
+/// ```no_run
+/// use ddp_core::ClusterConfig;
+/// use ddp_harness::{Harness, Sweep};
+///
+/// let mut harness = Harness::from_env("fig6");
+/// let records = harness.run(Sweep::grid25(ClusterConfig::micro21));
+/// // ... print tables from `records` ...
+/// harness.finish();
+/// ```
+#[derive(Debug)]
+pub struct Harness {
+    name: &'static str,
+    args: HarnessArgs,
+    writer: Option<JsonLinesWriter>,
+    started: Instant,
+}
+
+impl Harness {
+    /// Builds a harness from already-parsed arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `--json` path cannot be created.
+    #[must_use]
+    pub fn new(name: &'static str, args: HarnessArgs) -> Self {
+        let writer = args.json.as_ref().map(|path| {
+            JsonLinesWriter::create(path)
+                .unwrap_or_else(|e| panic!("cannot create --json {}: {e}", path.display()))
+        });
+        Harness {
+            name,
+            args,
+            writer,
+            started: Instant::now(),
+        }
+    }
+
+    /// Parses the process arguments; on a parse error prints the usage to
+    /// stderr and exits with status 2.
+    #[must_use]
+    pub fn from_env(name: &'static str) -> Self {
+        match HarnessArgs::from_env() {
+            Ok(args) => Harness::new(name, args),
+            Err(e) => {
+                eprintln!("{name}: {e}\n{}", HarnessArgs::usage(name));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The parsed flags.
+    #[must_use]
+    pub fn args(&self) -> &HarnessArgs {
+        &self.args
+    }
+
+    /// Runs one sweep: applies `--quick`, executes on `--threads` workers,
+    /// appends every record to the `--json` stream, and returns the
+    /// records in grid order.
+    pub fn run(&mut self, sweep: Sweep) -> Vec<RunRecord> {
+        let sweep = if self.args.quick {
+            sweep.map_cfg(ClusterConfig::quick)
+        } else {
+            sweep
+        };
+        let records = run_sweep_named(self.name, sweep, self.args.threads);
+        if let Some(writer) = &mut self.writer {
+            writer
+                .write_records(&records)
+                .expect("writing --json records");
+        }
+        records
+    }
+
+    /// Writes one extra pre-serialized JSON line (for derived, non-sweep
+    /// rows such as Table 4's). A no-op without `--json`.
+    pub fn emit_json_line(&mut self, json: &str) {
+        if let Some(writer) = &mut self.writer {
+            writer.write_line(json).expect("writing --json line");
+        }
+    }
+
+    /// Flushes the JSON stream and reports the bin's total wall-clock to
+    /// stderr.
+    pub fn finish(mut self) {
+        if let Some(writer) = &mut self.writer {
+            writer.flush().expect("flushing --json stream");
+            eprintln!(
+                "[{}] wrote {} JSON-lines record(s) to {}",
+                self.name,
+                writer.lines(),
+                writer.path().display()
+            );
+        }
+        eprintln!(
+            "[{}] total wall-clock {:.2}s",
+            self.name,
+            self.started.elapsed().as_secs_f64()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddp_core::DdpModel;
+
+    fn tiny_grid() -> Sweep {
+        Sweep::grid25(|m| {
+            let mut cfg = ClusterConfig::micro21(m).quick();
+            cfg.warmup_requests = 20;
+            cfg.measured_requests = 150;
+            cfg
+        })
+    }
+
+    #[test]
+    fn records_come_back_in_grid_order() {
+        let records = run_sweep(tiny_grid(), 4);
+        assert_eq!(records.len(), DdpModel::COUNT);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.model.grid_index(), i);
+            assert!(
+                r.summary.throughput > 0.0,
+                "{} produced no throughput",
+                r.model
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let sequential = run_sweep(tiny_grid(), 1);
+        let parallel = run_sweep(tiny_grid(), 4);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn empty_sweep_is_a_noop() {
+        assert!(run_sweep(Sweep::new(), 8).is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Table presentation and baseline-normalization helpers.
+//!
+//! Moved here from `ddp-bench`'s lib so the bench crate can stay a set of
+//! thin binaries: every figure prints through the same row/rule/bar
+//! primitives and normalizes through the same ratio helpers.
+
+/// Prints one table row: a label plus values formatted to two decimals.
+pub fn print_row(label: &str, values: &[f64]) {
+    print!("{label:<28}");
+    for v in values {
+        print!(" {v:>8.2}");
+    }
+    println!();
+}
+
+/// Prints a rule line sized to `cols` value columns.
+pub fn print_rule(cols: usize) {
+    println!("{}", "-".repeat(28 + 9 * cols));
+}
+
+/// An ASCII bar for quick visual comparison (one '#' per 0.1 units).
+#[must_use]
+pub fn bar(value: f64) -> String {
+    let n = (value * 10.0).round().clamp(0.0, 80.0) as usize;
+    "#".repeat(n.max(1))
+}
+
+/// `value / base`, with a zero baseline mapping to 0 rather than a NaN —
+/// the figure convention for "normalized to `<Linearizable, Synchronous>`".
+#[must_use]
+pub fn ratio(value: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        value / base
+    }
+}
+
+/// Normalizes a slice of values to a baseline via [`ratio`].
+#[must_use]
+pub fn normalized(values: &[f64], base: f64) -> Vec<f64> {
+    values.iter().map(|&v| ratio(v, base)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(1.0).len(), 10);
+        assert_eq!(bar(3.3).len(), 33);
+        assert_eq!(bar(0.0).len(), 1);
+        assert_eq!(bar(100.0).len(), 80);
+    }
+
+    #[test]
+    fn ratio_guards_zero_baseline() {
+        assert_eq!(ratio(3.0, 2.0), 1.5);
+        assert_eq!(ratio(3.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn normalized_maps_every_value() {
+        assert_eq!(normalized(&[1.0, 2.0, 4.0], 2.0), vec![0.5, 1.0, 2.0]);
+    }
+}

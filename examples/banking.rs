@@ -8,17 +8,18 @@
 //! example runs the Transactional consistency model with four persistency
 //! bindings and reports commit/conflict behaviour — including the paper's
 //! observation that Read-Enforced persistency is a poor partner for
-//! transactions because reads stall on persists.
+//! transactions because reads stall on persists. The four bindings run
+//! concurrently through the sweep harness; the commit/conflict counters
+//! come straight off the run records.
 
-use ddp_core::{ClusterConfig, Consistency, DdpModel, Persistency, Simulation};
+use ddp_core::{ClusterConfig, Consistency, DdpModel, Persistency};
+use ddp_harness::{default_threads, run_sweep_named, Sweep};
 use ddp_workload::WorkloadSpec;
 
 fn main() {
     println!("Banking transfers under Transactional consistency\n");
-    println!(
-        "{:<36} {:>9} {:>10} {:>10} {:>12}",
-        "model", "Mreq/s", "commits", "conflicts", "p95 write us"
-    );
+
+    let mut sweep = Sweep::new();
     for p in [
         Persistency::Synchronous,
         Persistency::ReadEnforced,
@@ -37,16 +38,22 @@ fn main() {
         };
         cfg.warmup_requests = 1_000;
         cfg.measured_requests = 10_000;
-        let mut sim = Simulation::new(cfg);
-        let report = sim.run();
-        let stats = sim.cluster().stats();
+        sweep.push(model.to_string(), cfg);
+    }
+    let records = run_sweep_named("banking", sweep, default_threads());
+
+    println!(
+        "{:<36} {:>9} {:>10} {:>10} {:>12}",
+        "model", "Mreq/s", "commits", "conflicts", "p95 write us"
+    );
+    for r in &records {
         println!(
             "{:<36} {:>9.2} {:>10} {:>10} {:>12.1}",
-            model.to_string(),
-            report.summary.throughput / 1e6,
-            stats.txns_committed,
-            stats.txns_conflicted,
-            report.summary.p95_write_ns / 1e3,
+            r.model.to_string(),
+            r.summary.throughput / 1e6,
+            r.counters.txns_committed,
+            r.counters.txns_conflicted,
+            r.summary.p95_write_ns / 1e3,
         );
     }
     println!();

@@ -8,7 +8,8 @@
 //! Prints the model's Table 2 semantics, its derived Table 4 traits, and a
 //! measured performance summary.
 
-use ddp_core::{run_experiment, ClusterConfig, Consistency, DdpModel, ModelTraits, Persistency};
+use ddp_core::{ClusterConfig, Consistency, DdpModel, ModelTraits, Persistency};
+use ddp_harness::{run_sweep_named, Sweep};
 
 fn parse_consistency(s: &str) -> Option<Consistency> {
     Some(match s.to_ascii_lowercase().as_str() {
@@ -76,8 +77,15 @@ fn explore(model: DdpModel, clients: u32) {
     println!("  implementability : {}", t.implementability);
 
     println!("\nMeasured ({clients} clients, YCSB-A):");
-    let report = run_experiment(ClusterConfig::micro21(model).with_clients(clients));
-    let s = &report.summary;
+    let records = run_sweep_named(
+        "model_explorer",
+        Sweep::new().trial(
+            model.to_string(),
+            ClusterConfig::micro21(model).with_clients(clients),
+        ),
+        1,
+    );
+    let s = &records[0].summary;
     println!("  throughput : {:.2} M req/s", s.throughput / 1e6);
     println!(
         "  mean read  : {:.2} us   (p95 {:.2} us)",

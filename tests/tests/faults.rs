@@ -1,9 +1,8 @@
 //! Fault-injection integration tests: lossy fabric, mid-run crash/rejoin,
 //! and the opt-in guarantee that a zero-fault plan changes nothing.
 
-use ddp_core::{
-    ClusterConfig, Consistency, DdpModel, HistoryChecker, Persistency, Simulation,
-};
+use ddp_core::{ClusterConfig, Consistency, DdpModel, HistoryChecker, Persistency, Simulation};
+use ddp_harness::{default_threads, run_sweep_named, Sweep};
 use ddp_sim::Duration;
 
 fn tiny(model: DdpModel) -> ClusterConfig {
@@ -29,32 +28,42 @@ fn scaled_crash(model: DdpModel) -> (Duration, Duration) {
 
 #[test]
 fn all_models_complete_under_loss_and_mid_run_crash() {
-    for c in Consistency::ALL {
-        for p in Persistency::ALL {
-            let model = DdpModel::new(c, p);
-            let (at, down_for) = scaled_crash(model);
-            let mut sim = Simulation::new(
-                tiny(model).with_loss(0.01).with_crash(2, at, down_for),
-            );
-            let report = sim.run();
-            assert!(
-                report.summary.throughput > 0.0,
-                "{model} stalled under loss + crash"
-            );
-            let st = sim.cluster().stats();
-            assert_eq!(st.crashes.len(), 1, "{model}: crash did not fire");
-            assert_eq!(st.rejoins.len(), 1, "{model}: node never rejoined");
-            assert_eq!(st.crashes[0].0, 2);
-            assert_eq!(st.rejoins[0].0, 2);
-            assert!(
-                st.rejoins[0].1 > st.crashes[0].1,
-                "{model}: rejoin must follow the crash"
-            );
-            assert!(
-                st.messages_dropped > 0,
-                "{model}: lossy fabric never dropped anything"
-            );
-        }
+    // Probe every model's fault-free run length in one parallel sweep; the
+    // records carry it, so no per-model probe simulations are needed.
+    let threads = default_threads();
+    let probes = run_sweep_named("faults-probe", Sweep::grid25(tiny), threads);
+
+    let mut crash_sweep = Sweep::new();
+    for model in DdpModel::all() {
+        let run_ns = probes[model.grid_index()].counters.run_ns() as f64;
+        let at = Duration::from_nanos((run_ns * 0.40) as u64);
+        let down_for = Duration::from_nanos((run_ns * 0.25) as u64);
+        crash_sweep.push(
+            model.to_string(),
+            tiny(model).with_loss(0.01).with_crash(2, at, down_for),
+        );
+    }
+    let records = run_sweep_named("faults-crash", crash_sweep, threads);
+
+    for model in DdpModel::all() {
+        let r = &records[model.grid_index()];
+        assert!(
+            r.summary.throughput > 0.0,
+            "{model} stalled under loss + crash"
+        );
+        let c = &r.counters;
+        assert_eq!(c.crashes.len(), 1, "{model}: crash did not fire");
+        assert_eq!(c.rejoins.len(), 1, "{model}: node never rejoined");
+        assert_eq!(c.crashes[0].0, 2);
+        assert_eq!(c.rejoins[0].0, 2);
+        assert!(
+            c.rejoins[0].1 > c.crashes[0].1,
+            "{model}: rejoin must follow the crash"
+        );
+        assert!(
+            c.messages_dropped > 0,
+            "{model}: lossy fabric never dropped anything"
+        );
     }
 }
 
@@ -86,7 +95,10 @@ fn retransmissions_recover_lost_acks() {
     let mut sim = Simulation::new(tiny(DdpModel::baseline()).with_loss(0.05));
     let report = sim.run();
     assert!(report.summary.throughput > 0.0);
-    assert!(report.summary.retransmits > 0, "loss this high must trigger retries");
+    assert!(
+        report.summary.retransmits > 0,
+        "loss this high must trigger retries"
+    );
     let st = sim.cluster().stats();
     assert!(
         st.duplicates_suppressed > 0,
@@ -117,9 +129,7 @@ fn crashed_node_catches_up_on_rejoin() {
     // peers accepted while it was down.
     let model = DdpModel::new(Consistency::Linearizable, Persistency::Strict);
     let (at, down_for) = scaled_crash(model);
-    let mut sim = Simulation::new(
-        tiny(model).with_loss(0.01).with_crash(2, at, down_for),
-    );
+    let mut sim = Simulation::new(tiny(model).with_loss(0.01).with_crash(2, at, down_for));
     sim.run();
     let st = sim.cluster().stats();
     assert_eq!(st.rejoins.len(), 1);
