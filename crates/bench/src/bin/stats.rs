@@ -98,5 +98,24 @@ fn main() {
         "<Lin,Sync> throughput change going 1us -> 2us RTT: {:+.1}%   (paper: -12%)",
         100.0 * (r[lin2us].summary.throughput / r[base].summary.throughput - 1.0)
     );
+
+    // Tail latencies: the paper's evaluation discusses tails, not only
+    // means, so surface the full p50/p95/p99 ladder for the baseline.
+    let b = &r[base].summary;
+    println!(
+        "<Lin,Sync> read latency p50/p95/p99: {:.0}/{:.0}/{:.0} ns",
+        b.p50_read_ns, b.p95_read_ns, b.p99_read_ns
+    );
+    println!(
+        "<Lin,Sync> write latency p50/p95/p99: {:.0}/{:.0}/{:.0} ns",
+        b.p50_write_ns, b.p95_write_ns, b.p99_write_ns
+    );
+
+    // The visible-but-not-durable window: synchronous persistency closes
+    // it before the ack; eventual persistency leaves it open long after.
+    println!(
+        "mean VP->DP durability lag, <Lin,Sync> vs <Eventual,Eventual>: {:.0} vs {:.0} ns",
+        b.vp_dp_lag_mean_ns, r[ev].summary.vp_dp_lag_mean_ns
+    );
     harness.finish();
 }

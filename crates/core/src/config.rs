@@ -4,6 +4,7 @@ use ddp_mem::MemoryParams;
 use ddp_net::NetworkParams;
 use ddp_sim::Duration;
 use ddp_store::StoreKind;
+use ddp_trace::TraceConfig;
 use ddp_workload::WorkloadSpec;
 
 use crate::model::DdpModel;
@@ -212,6 +213,9 @@ pub struct ClusterConfig {
     pub record_observations: bool,
     /// Fault-injection plan; inert by default.
     pub faults: FaultPlan,
+    /// Event tracing and gauge sampling; inert by default. The tracer is
+    /// read-only: enabling it changes the trace output and nothing else.
+    pub trace: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -239,6 +243,7 @@ impl ClusterConfig {
             measured_requests: 20_000,
             record_observations: false,
             faults: FaultPlan::none(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -292,6 +297,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Installs a tracing configuration (event ring + gauge sampling).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Installs a full fault-injection plan.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
@@ -340,6 +352,12 @@ impl ClusterConfig {
         if self.faults.active() && self.nodes > 64 {
             return Err("fault injection supports at most 64 nodes (ACK bitmasks)".into());
         }
+        if self.trace.events && self.trace.ring_capacity == 0 {
+            return Err("trace ring_capacity must be positive when events are on".into());
+        }
+        if self.trace.sample_interval == Some(Duration::ZERO) {
+            return Err("trace sample_interval must be positive".into());
+        }
         Ok(())
     }
 }
@@ -380,6 +398,26 @@ mod tests {
         let mut cfg = ClusterConfig::micro21(DdpModel::baseline());
         cfg.txn_size = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn trace_is_inert_by_default_and_validated_when_on() {
+        use ddp_trace::TraceConfig;
+        let cfg = ClusterConfig::micro21(DdpModel::baseline());
+        assert!(!cfg.trace.events && cfg.trace.sample_interval.is_none());
+
+        let traced = ClusterConfig::micro21(DdpModel::baseline())
+            .with_trace(TraceConfig::enabled().with_sample_interval(Duration::from_micros(1)));
+        assert!(traced.validate().is_ok());
+
+        let mut bad = ClusterConfig::micro21(DdpModel::baseline())
+            .with_trace(TraceConfig::enabled());
+        bad.trace.ring_capacity = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = ClusterConfig::micro21(DdpModel::baseline());
+        bad.trace.sample_interval = Some(Duration::ZERO);
+        assert!(bad.validate().is_err());
     }
 
     #[test]

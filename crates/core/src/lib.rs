@@ -77,3 +77,9 @@ pub use recovery_time::{estimate_recovery, RecoveryEstimate};
 pub use replica::{KeyState, ReplicaStore};
 pub use stats::{RunStats, RunSummary};
 pub use traits_table::{Level, ModelTraits};
+
+// Re-exported so harnesses and tests can configure and consume tracing
+// without depending on `ddp-trace` directly.
+pub use ddp_trace::{
+    PhaseAccum, PhaseBreakdown, StallCause, TraceConfig, TraceDump, TraceEventKind, TraceRecord,
+};

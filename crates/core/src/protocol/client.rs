@@ -4,6 +4,7 @@
 use ddp_net::NodeId;
 use ddp_sim::{Context, SimTime};
 use ddp_store::Key;
+use ddp_trace::TraceEventKind;
 use ddp_workload::{ClientId, OpKind, Request};
 
 use crate::message::{ScopeId, TxnId};
@@ -176,6 +177,12 @@ impl Cluster {
     ) {
         let t_done = t_done + self.cfg.client_link_delay;
         let latency = t_done.saturating_since(issued_at);
+        let kind = if is_read {
+            TraceEventKind::ReadComplete
+        } else {
+            TraceEventKind::WriteComplete
+        };
+        self.trace_at(ctx, t_done, kind, node.0, key, version, latency.as_nanos());
         if self.measuring {
             if is_read {
                 self.stats.reads_completed += 1;

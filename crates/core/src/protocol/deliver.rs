@@ -2,6 +2,7 @@
 
 use ddp_net::NodeId;
 use ddp_sim::Context;
+use ddp_trace::TraceEventKind;
 
 use crate::cauhist::VectorClock;
 use crate::message::{Message, ScopeId, WriteId};
@@ -106,6 +107,7 @@ impl Cluster {
         if lease {
             self.schedule_transient_lease(ctx, node, key, write, version);
         }
+        self.trace(ctx, TraceEventKind::ReplicaApply, node.0, key, version, 0);
 
         if let Some(txn_id) = txn {
             self.follower_txn_write(ctx, node, txn_id, write, key, version, value_bytes);
@@ -117,49 +119,37 @@ impl Cluster {
             Persistency::Synchronous | Persistency::Strict => {
                 // Persist first; the combined ACK follows from the persist
                 // completion handler.
-                let done = self.nodes[node.index()].mem.persist(
+                self.issue_persist(
+                    ctx,
+                    node,
                     ctx.now(),
                     Self::addr(key),
                     u64::from(value_bytes),
-                );
-                if self.measuring {
-                    self.stats.persists_issued += 1;
-                }
-                ctx.schedule_at(
-                    done,
-                    Event::PersistDone(
-                        node,
-                        PersistCtx {
-                            key,
-                            version,
-                            purpose: PersistPurpose::FollowerInv { write, txn: None },
-                            epoch,
-                        },
-                    ),
+                    PersistCtx {
+                        key,
+                        version,
+                        purpose: PersistPurpose::FollowerInv { write, txn: None },
+                        epoch,
+                    },
+                    true,
                 );
             }
             Persistency::ReadEnforced => {
                 let coord = write.coordinator;
                 self.send_ack_c(ctx, node, coord, write);
-                let done = self.nodes[node.index()].mem.persist(
+                self.issue_persist(
+                    ctx,
+                    node,
                     ctx.now(),
                     Self::addr(key),
                     u64::from(value_bytes),
-                );
-                if self.measuring {
-                    self.stats.persists_issued += 1;
-                }
-                ctx.schedule_at(
-                    done,
-                    Event::PersistDone(
-                        node,
-                        PersistCtx {
-                            key,
-                            version,
-                            purpose: PersistPurpose::FollowerInv { write, txn: None },
-                            epoch,
-                        },
-                    ),
+                    PersistCtx {
+                        key,
+                        version,
+                        purpose: PersistPurpose::FollowerInv { write, txn: None },
+                        epoch,
+                    },
+                    true,
                 );
             }
             Persistency::Scope => {
@@ -289,6 +279,7 @@ impl Cluster {
             let prev = n.applied_vc.get(origin.index());
             n.applied_vc.set(origin.index(), prev.max(cs));
         }
+        self.trace(ctx, TraceEventKind::ReplicaApply, node.0, upd.key, upd.version, 0);
 
         // Durability per the persistency model.
         match self.pers {
@@ -313,48 +304,36 @@ impl Cluster {
                         },
                     );
                 } else {
-                    let done = self.nodes[node.index()].mem.persist(
+                    self.issue_persist(
+                        ctx,
+                        node,
                         ctx.now(),
                         Self::addr(upd.key),
                         u64::from(upd.value_bytes),
-                    );
-                    if self.measuring {
-                        self.stats.persists_issued += 1;
-                    }
-                    ctx.schedule_at(
-                        done,
-                        Event::PersistDone(
-                            node,
-                            PersistCtx {
-                                key: upd.key,
-                                version: upd.version,
-                                purpose,
-                                epoch,
-                            },
-                        ),
+                        PersistCtx {
+                            key: upd.key,
+                            version: upd.version,
+                            purpose,
+                            epoch,
+                        },
+                        true,
                     );
                 }
             }
             Persistency::ReadEnforced => {
-                let done = self.nodes[node.index()].mem.persist(
+                self.issue_persist(
+                    ctx,
+                    node,
                     ctx.now(),
                     Self::addr(upd.key),
                     u64::from(upd.value_bytes),
-                );
-                if self.measuring {
-                    self.stats.persists_issued += 1;
-                }
-                ctx.schedule_at(
-                    done,
-                    Event::PersistDone(
-                        node,
-                        PersistCtx {
-                            key: upd.key,
-                            version: upd.version,
-                            purpose: PersistPurpose::Lazy,
-                            epoch,
-                        },
-                    ),
+                    PersistCtx {
+                        key: upd.key,
+                        version: upd.version,
+                        purpose: PersistPurpose::Lazy,
+                        epoch,
+                    },
+                    true,
                 );
             }
             Persistency::Scope => {

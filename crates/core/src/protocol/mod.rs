@@ -41,6 +41,7 @@ use crate::message::{Message, ScopeId, TxnId, WriteId};
 use crate::model::{Consistency, Persistency};
 use crate::replica::ReplicaStore;
 use crate::stats::{RunStats, RunSummary};
+use ddp_trace::{SampleClock, TraceDump, TraceEventKind, TraceRecord, Tracer, WriteLifecycles};
 
 /// Simulation events dispatched by the engine.
 ///
@@ -190,6 +191,15 @@ pub(crate) struct PendingWrite {
     pub value_bytes: u32,
     pub client: ClientId,
     pub issued_at: SimTime,
+    /// When the write round began executing (post worker admission).
+    pub exec_at: SimTime,
+    /// Nanoseconds spent queued behind a same-key in-flight write
+    /// (Linearizable serialization); zero otherwise.
+    pub queued_ns: u64,
+    /// First instant the consistency condition held (phase attribution).
+    pub cons_ok_at: Option<SimTime>,
+    /// First instant the persistence condition held (phase attribution).
+    pub pers_ok_at: Option<SimTime>,
     /// Local apply finishes here; the write can never complete earlier.
     pub earliest_complete: SimTime,
     /// ACK (combined) or ACK_c count.
@@ -222,6 +232,12 @@ pub(crate) struct PendingWrite {
 pub(crate) struct WaitingRead {
     pub client: ClientId,
     pub issued_at: SimTime,
+    /// When the read blocked (stall attribution).
+    pub stalled_at: SimTime,
+    /// Blocked on a transient (not yet validated) key.
+    pub blocked_consistency: bool,
+    /// Blocked on a visible but not yet durable write.
+    pub blocked_persist: bool,
 }
 
 /// A write queued behind an in-flight write to the same key (Linearizable
@@ -231,6 +247,8 @@ pub(crate) struct QueuedWrite {
     pub client: ClientId,
     pub request: Request,
     pub issued_at: SimTime,
+    /// When the write entered the queue (queue-phase attribution).
+    pub queued_at: SimTime,
     pub txn: Option<TxnId>,
     pub scope: Option<ScopeId>,
 }
@@ -505,6 +523,15 @@ pub struct Cluster {
     /// Payload sizes alongside each NVM image (for persist sizing after
     /// the rejoin catch-up).
     pub(crate) nvm_bytes: Vec<BTreeMap<Key, u32>>,
+    /// Opt-in event ring; a disabled tracer is one predictable branch per
+    /// hook and never observes the simulation mutably.
+    pub(crate) tracer: Tracer,
+    /// Fixed-interval gauge sampling clock (`None` when sampling is off).
+    pub(crate) sample_clock: Option<SampleClock>,
+    /// Open write lifecycles: VP recorded, DP not yet reached. Lives here
+    /// (not in `RunStats`) because the warm-up boundary replaces the stats
+    /// wholesale while writes straddle it.
+    pub(crate) lifecycle: WriteLifecycles,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -557,6 +584,13 @@ impl Cluster {
             node_epoch: vec![0; n],
             nvm_images: vec![None; n],
             nvm_bytes: vec![BTreeMap::new(); n],
+            tracer: if cfg.trace.events {
+                Tracer::enabled(cfg.trace.ring_capacity)
+            } else {
+                Tracer::disabled()
+            },
+            sample_clock: cfg.trace.sample_interval.map(SampleClock::new),
+            lifecycle: WriteLifecycles::default(),
             cfg,
         }
     }
@@ -658,6 +692,137 @@ impl Cluster {
         self.stats.causal_buffered.set(now, count);
     }
 
+    /// Records one trace event stamped at `ctx.now()`.
+    #[inline]
+    pub(crate) fn trace(
+        &mut self,
+        ctx: &Context<'_, Event>,
+        kind: TraceEventKind,
+        node: u8,
+        a: u64,
+        b: u64,
+        c: u64,
+    ) {
+        self.trace_at(ctx, ctx.now(), kind, node, a, b, c);
+    }
+
+    /// Records one trace event stamped at an explicit simulated time (used
+    /// when the semantic instant — e.g. a Visibility Point — differs from
+    /// the dispatch time of the handler recording it).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn trace_at(
+        &mut self,
+        ctx: &Context<'_, Event>,
+        at: SimTime,
+        kind: TraceEventKind,
+        node: u8,
+        a: u64,
+        b: u64,
+        c: u64,
+    ) {
+        if self.tracer.is_enabled() {
+            self.tracer.push(TraceRecord {
+                seq: ctx.dispatch_seq(),
+                at_ns: at.as_nanos(),
+                a,
+                b,
+                c,
+                d: 0,
+                kind,
+                node,
+            });
+        }
+    }
+
+    /// Emits any gauge samples whose interval boundary has passed.
+    ///
+    /// Called at the top of every event dispatch; it never schedules
+    /// engine events, so enabling sampling cannot perturb the simulation.
+    /// Gauges are read-only snapshots of cluster state as of the first
+    /// dispatch at or after each boundary.
+    pub(crate) fn maybe_sample(&mut self, ctx: &Context<'_, Event>) {
+        let Some(clock) = &mut self.sample_clock else {
+            return;
+        };
+        let now_ns = ctx.now().as_nanos();
+        let seq = ctx.dispatch_seq();
+        while let Some(at_ns) = clock.due(now_ns) {
+            let busy = self
+                .cstate
+                .iter()
+                .filter(|c| c.phase == ClientPhase::Busy)
+                .count() as u64;
+            let buffered = self.stats.causal_buffered.current();
+            let boundary = SimTime::from_nanos(at_ns);
+            let nvm: u64 = self
+                .nodes
+                .iter()
+                .map(|n| n.mem.nvm_pressure_at(boundary) as u64)
+                .sum();
+            if self.tracer.is_enabled() {
+                self.tracer.push(TraceRecord {
+                    seq,
+                    at_ns,
+                    a: busy,
+                    b: buffered,
+                    c: nvm,
+                    d: self.stats.retransmits,
+                    kind: TraceEventKind::Sample,
+                    node: u8::MAX,
+                });
+            }
+        }
+    }
+
+    /// Submits one NVM persist and schedules its completion event.
+    ///
+    /// The single funnel for every protocol persist: it attributes the
+    /// bank queue-wait delta to the run statistics, traces the issue, and
+    /// keeps the `PersistDone` scheduling in one place. `counted` mirrors
+    /// the historical accounting: transaction-log persists are protocol
+    /// overhead and are not counted as data persists.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn issue_persist(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        when: SimTime,
+        addr: u64,
+        bytes: u64,
+        pctx: PersistCtx,
+        counted: bool,
+    ) -> SimTime {
+        let wait_before = self.nodes[node.index()].mem.nvm().total_queue_wait();
+        let done = self.nodes[node.index()].mem.persist(when, addr, bytes);
+        let wait_after = self.nodes[node.index()].mem.nvm().total_queue_wait();
+        let queue_wait = wait_after.saturating_sub(wait_before);
+        if self.measuring && counted {
+            self.stats.persists_issued += 1;
+            self.stats.nvm_queue_wait += queue_wait;
+        }
+        self.trace_at(
+            ctx,
+            when,
+            TraceEventKind::PersistIssue,
+            node.0,
+            pctx.key,
+            pctx.version,
+            queue_wait.as_nanos(),
+        );
+        ctx.schedule_at(done, Event::PersistDone(node, pctx));
+        done
+    }
+
+    /// Drains the trace event ring, if event tracing is enabled.
+    pub fn take_trace(&mut self) -> Option<TraceDump> {
+        if self.cfg.trace.events {
+            Some(self.tracer.take())
+        } else {
+            None
+        }
+    }
+
     /// Immutable view of the observation log.
     #[must_use]
     pub fn observations(&self) -> &ObservationLog {
@@ -689,6 +854,7 @@ impl Model for Cluster {
         if self.done {
             return;
         }
+        self.maybe_sample(ctx);
         match event {
             Event::Issue(client, token) => self.on_issue(ctx, client, token),
             Event::Deliver(node, msg) => {
@@ -837,6 +1003,11 @@ impl Simulation {
     #[must_use]
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// Drains the trace event ring (see [`Cluster::take_trace`]).
+    pub fn take_trace(&mut self) -> Option<TraceDump> {
+        self.cluster.take_trace()
     }
 
     /// Mutable cluster access (failure injection).

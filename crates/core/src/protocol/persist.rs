@@ -1,7 +1,8 @@
 //! NVM persist completion handling.
 
 use ddp_net::NodeId;
-use ddp_sim::Context;
+use ddp_sim::{Context, Duration};
+use ddp_trace::TraceEventKind;
 
 use crate::message::Message;
 use crate::model::Persistency;
@@ -16,6 +17,33 @@ impl Cluster {
         node: NodeId,
         pctx: PersistCtx,
     ) {
+        self.trace(
+            ctx,
+            TraceEventKind::PersistComplete,
+            node.0,
+            pctx.key,
+            pctx.version,
+            0,
+        );
+        // Durability Point: the first persist of a versioned update to
+        // complete anywhere in the cluster. Transaction-log persists carry
+        // version 0 and are not updates.
+        if pctx.version > 0 {
+            if let Some(open) = self.lifecycle.durable(pctx.version) {
+                let lag_ns = ctx.now().as_nanos().saturating_sub(open.vp_ns);
+                if self.measuring {
+                    self.stats.vp_dp_lag.record(Duration::from_nanos(lag_ns));
+                }
+                self.trace(
+                    ctx,
+                    TraceEventKind::WriteDp,
+                    node.0,
+                    open.key,
+                    pctx.version,
+                    lag_ns,
+                );
+            }
+        }
         // The key is now durable locally up to this version.
         {
             let st = self.nodes[node.index()].store.state_mut(pctx.key);
@@ -113,25 +141,19 @@ impl Cluster {
         lctx: LazyPersistCtx,
     ) {
         let epoch = self.node_epoch[node.index()];
-        let done = self.nodes[node.index()].mem.persist(
+        self.issue_persist(
+            ctx,
+            node,
             ctx.now(),
             Self::addr(lctx.key),
             u64::from(lctx.bytes),
-        );
-        if self.measuring {
-            self.stats.persists_issued += 1;
-        }
-        ctx.schedule_at(
-            done,
-            Event::PersistDone(
-                node,
-                PersistCtx {
-                    key: lctx.key,
-                    version: lctx.version,
-                    purpose: PersistPurpose::Lazy,
-                    epoch,
-                },
-            ),
+            PersistCtx {
+                key: lctx.key,
+                version: lctx.version,
+                purpose: PersistPurpose::Lazy,
+                epoch,
+            },
+            true,
         );
     }
 }

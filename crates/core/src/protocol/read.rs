@@ -7,8 +7,9 @@
 //! under strong consistency, locally under Causal/Eventual (paper §5.3).
 
 use ddp_net::NodeId;
-use ddp_sim::{Context, SimTime};
+use ddp_sim::{Context, Duration, SimTime};
 use ddp_store::Key;
+use ddp_trace::{StallCause, TraceEventKind};
 use ddp_workload::{ClientId, Request};
 
 use crate::model::{Consistency, Persistency};
@@ -59,6 +60,7 @@ impl Cluster {
         issued_at: SimTime,
     ) {
         let home = self.home_of(client);
+        self.trace(ctx, TraceEventKind::ReadIssue, home.0, request.key, 0, 0);
         let block = self.read_block(home, request.key);
         if block.blocked() {
             if self.measuring {
@@ -69,11 +71,33 @@ impl Cluster {
                     self.stats.reads_stalled_on_persist += 1;
                 }
             }
+            let mut cause = StallCause(0);
+            if block.transient {
+                cause = cause | StallCause::CONSISTENCY;
+            }
+            if block.persist {
+                cause = cause | StallCause::PERSIST;
+            }
+            let blocking = self.nodes[home.index()].store.state(request.key).visible;
+            self.trace(
+                ctx,
+                TraceEventKind::StallBegin,
+                home.0,
+                request.key,
+                blocking,
+                cause.0,
+            );
             self.nodes[home.index()]
                 .waiting_reads
                 .entry(request.key)
                 .or_default()
-                .push(WaitingRead { client, issued_at });
+                .push(WaitingRead {
+                    client,
+                    issued_at,
+                    stalled_at: ctx.now(),
+                    blocked_consistency: block.transient,
+                    blocked_persist: block.persist,
+                });
             return;
         }
         self.finish_read(ctx, home, client, request.key, issued_at);
@@ -137,6 +161,22 @@ impl Cluster {
             if self.read_block(node, key).blocked() {
                 still_blocked.push(waiter);
             } else {
+                let stall = ctx.now().saturating_since(waiter.stalled_at);
+                if self.measuring {
+                    let zero = Duration::ZERO;
+                    self.stats.phase.record_read_stall(
+                        if waiter.blocked_consistency { stall } else { zero },
+                        if waiter.blocked_persist { stall } else { zero },
+                    );
+                }
+                self.trace(
+                    ctx,
+                    TraceEventKind::StallEnd,
+                    node.0,
+                    key,
+                    0,
+                    stall.as_nanos(),
+                );
                 self.finish_read(ctx, node, waiter.client, key, waiter.issued_at);
             }
         }

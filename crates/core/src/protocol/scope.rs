@@ -62,25 +62,19 @@ impl Cluster {
             round.local_started = true;
         }
         for (key, version, bytes) in writes {
-            let done = self.nodes[home.index()].mem.persist(
+            self.issue_persist(
+                ctx,
+                home,
                 ctx.now(),
                 Self::addr(key),
                 u64::from(bytes),
-            );
-            if self.measuring {
-                self.stats.persists_issued += 1;
-            }
-            ctx.schedule_at(
-                done,
-                Event::PersistDone(
-                    home,
-                    PersistCtx {
-                        key,
-                        version,
-                        purpose: PersistPurpose::ScopeFlush { scope },
-                        epoch,
-                    },
-                ),
+                PersistCtx {
+                    key,
+                    version,
+                    purpose: PersistPurpose::ScopeFlush { scope },
+                    epoch,
+                },
+                true,
             );
         }
     }
@@ -114,25 +108,19 @@ impl Cluster {
         buffer.flushing = true;
         buffer.flush_outstanding = writes.len() as u32;
         for (key, version, bytes) in writes {
-            let done = self.nodes[node.index()].mem.persist(
+            self.issue_persist(
+                ctx,
+                node,
                 ctx.now(),
                 Self::addr(key),
                 u64::from(bytes),
-            );
-            if self.measuring {
-                self.stats.persists_issued += 1;
-            }
-            ctx.schedule_at(
-                done,
-                Event::PersistDone(
-                    node,
-                    PersistCtx {
-                        key,
-                        version,
-                        purpose: PersistPurpose::ScopeFlush { scope },
-                        epoch,
-                    },
-                ),
+                PersistCtx {
+                    key,
+                    version,
+                    purpose: PersistPurpose::ScopeFlush { scope },
+                    epoch,
+                },
+                true,
             );
         }
     }

@@ -245,18 +245,19 @@ impl Cluster {
         }
         if needs_log_persist {
             let epoch = self.node_epoch[home.index()];
-            let done = self.nodes[home.index()].mem.persist(ctx.now(), txn_log_addr(txn), 64);
-            ctx.schedule_at(
-                done,
-                Event::PersistDone(
-                    home,
-                    PersistCtx {
-                        key: txn_log_addr(txn) >> 6,
-                        version: 0,
-                        purpose: PersistPurpose::TxnLog { txn, begin: true },
-                        epoch,
-                    },
-                ),
+            self.issue_persist(
+                ctx,
+                home,
+                ctx.now(),
+                txn_log_addr(txn),
+                64,
+                PersistCtx {
+                    key: txn_log_addr(txn) >> 6,
+                    version: 0,
+                    purpose: PersistPurpose::TxnLog { txn, begin: true },
+                    epoch,
+                },
+                false,
             );
         }
         self.try_complete_txn_round(ctx, home, txn.seq);
@@ -281,26 +282,20 @@ impl Cluster {
             // persist now, bunched at the transaction end (paper Figure 4).
             let local_writes = std::mem::take(&mut self.cstate[client.index()].txn_writes);
             for (key, version, bytes) in local_writes {
-                let done = self.nodes[home.index()].mem.persist(
+                outstanding += 1;
+                self.issue_persist(
+                    ctx,
+                    home,
                     ctx.now(),
                     Self::addr(key),
                     u64::from(bytes),
-                );
-                if self.measuring {
-                    self.stats.persists_issued += 1;
-                }
-                outstanding += 1;
-                ctx.schedule_at(
-                    done,
-                    Event::PersistDone(
-                        home,
-                        PersistCtx {
-                            key,
-                            version,
-                            purpose: PersistPurpose::TxnEnd { txn },
-                            epoch,
-                        },
-                    ),
+                    PersistCtx {
+                        key,
+                        version,
+                        purpose: PersistPurpose::TxnEnd { txn },
+                        epoch,
+                    },
+                    true,
                 );
             }
         }
@@ -343,18 +338,19 @@ impl Cluster {
         self.nodes[node.index()].txns.entry(txn).or_default();
         if self.pers.persist_before_ack() {
             let epoch = self.node_epoch[node.index()];
-            let done = self.nodes[node.index()].mem.persist(ctx.now(), txn_log_addr(txn), 64);
-            ctx.schedule_at(
-                done,
-                Event::PersistDone(
-                    node,
-                    PersistCtx {
-                        key: txn_log_addr(txn) >> 6,
-                        version: 0,
-                        purpose: PersistPurpose::TxnLog { txn, begin: true },
-                        epoch,
-                    },
-                ),
+            self.issue_persist(
+                ctx,
+                node,
+                ctx.now(),
+                txn_log_addr(txn),
+                64,
+                PersistCtx {
+                    key: txn_log_addr(txn) >> 6,
+                    version: 0,
+                    purpose: PersistPurpose::TxnLog { txn, begin: true },
+                    epoch,
+                },
+                false,
             );
         } else {
             self.send_ackx(ctx, node, txn, true);
@@ -383,28 +379,22 @@ impl Cluster {
         match self.pers {
             Persistency::Strict => {
                 // Persist before the per-write ACK.
-                let done = self.nodes[node.index()].mem.persist(
+                self.issue_persist(
+                    ctx,
+                    node,
                     ctx.now(),
                     Self::addr(key),
                     u64::from(value_bytes),
-                );
-                if self.measuring {
-                    self.stats.persists_issued += 1;
-                }
-                ctx.schedule_at(
-                    done,
-                    Event::PersistDone(
-                        node,
-                        PersistCtx {
-                            key,
-                            version,
-                            purpose: PersistPurpose::FollowerInv {
-                                write,
-                                txn: Some(txn),
-                            },
-                            epoch,
+                    PersistCtx {
+                        key,
+                        version,
+                        purpose: PersistPurpose::FollowerInv {
+                            write,
+                            txn: Some(txn),
                         },
-                    ),
+                        epoch,
+                    },
+                    true,
                 );
             }
             Persistency::Synchronous => {
@@ -413,25 +403,19 @@ impl Cluster {
             }
             Persistency::ReadEnforced => {
                 self.send(ctx, node, coord, Message::AckC { write, from: node }, RdmaKind::Send);
-                let done = self.nodes[node.index()].mem.persist(
+                self.issue_persist(
+                    ctx,
+                    node,
                     ctx.now(),
                     Self::addr(key),
                     u64::from(value_bytes),
-                );
-                if self.measuring {
-                    self.stats.persists_issued += 1;
-                }
-                ctx.schedule_at(
-                    done,
-                    Event::PersistDone(
-                        node,
-                        PersistCtx {
-                            key,
-                            version,
-                            purpose: PersistPurpose::FollowerInv { write, txn: None },
-                            epoch,
-                        },
-                    ),
+                    PersistCtx {
+                        key,
+                        version,
+                        purpose: PersistPurpose::FollowerInv { write, txn: None },
+                        epoch,
+                    },
+                    true,
                 );
             }
             Persistency::Scope => {
@@ -506,25 +490,19 @@ impl Cluster {
                             .expect("present above")
                             .endx_persists_outstanding = n;
                         for (key, version, bytes) in remaining {
-                            let done = self.nodes[node.index()].mem.persist(
+                            self.issue_persist(
+                                ctx,
+                                node,
                                 ctx.now(),
                                 Self::addr(key),
                                 u64::from(bytes),
-                            );
-                            if self.measuring {
-                                self.stats.persists_issued += 1;
-                            }
-                            ctx.schedule_at(
-                                done,
-                                Event::PersistDone(
-                                    node,
-                                    PersistCtx {
-                                        key,
-                                        version,
-                                        purpose: PersistPurpose::TxnEnd { txn },
-                                        epoch,
-                                    },
-                                ),
+                                PersistCtx {
+                                    key,
+                                    version,
+                                    purpose: PersistPurpose::TxnEnd { txn },
+                                    epoch,
+                                },
+                                true,
                             );
                         }
                         return;

@@ -6,7 +6,8 @@
 //! update is pushed to NVM and whether the write's completion waits for it.
 
 use ddp_net::{NodeId, RdmaKind};
-use ddp_sim::{Context, SimTime};
+use ddp_sim::{Context, Duration, SimTime};
+use ddp_trace::TraceEventKind;
 use ddp_workload::{ClientId, Request};
 
 use crate::message::{Message, ScopeId, TxnId, WriteId};
@@ -39,16 +40,19 @@ impl Cluster {
                         client,
                         request,
                         issued_at,
+                        queued_at: ctx.now(),
                         txn,
                         scope,
                     });
                 return;
             }
         }
-        self.begin_write_round(ctx, home, client, request, issued_at, txn, scope);
+        self.begin_write_round(ctx, home, client, request, issued_at, 0, txn, scope);
     }
 
-    /// Starts the protocol round for one write.
+    /// Starts the protocol round for one write. `queued_ns` is the time the
+    /// write spent serialized behind a same-key predecessor (zero unless it
+    /// came through [`Cluster::pop_queued_write`]).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn begin_write_round(
         &mut self,
@@ -57,6 +61,7 @@ impl Cluster {
         client: ClientId,
         request: Request,
         issued_at: SimTime,
+        queued_ns: u64,
         txn: Option<TxnId>,
         scope: Option<ScopeId>,
     ) {
@@ -112,6 +117,10 @@ impl Cluster {
             value_bytes: bytes,
             client,
             issued_at,
+            exec_at: ctx.now(),
+            queued_ns,
+            cons_ok_at: None,
+            pers_ok_at: None,
             earliest_complete: applied_at,
             acks: 0,
             acks_p: 0,
@@ -129,6 +138,14 @@ impl Cluster {
             cauhist: cauhist.as_ref().map(|(hist, _)| hist.clone()),
         };
         node.pending.insert(seq, pw);
+
+        // Lifecycle: the write's Visibility Point is the local apply
+        // instant. Recorded unconditionally (not just when measuring) so a
+        // Durability Point landing inside the measured window still finds
+        // the VP of a write issued during warm-up.
+        self.lifecycle.visible(version, key, applied_at.as_nanos());
+        self.trace(ctx, TraceEventKind::WriteIssue, home.0, key, version, 0);
+        self.trace_at(ctx, applied_at, TraceEventKind::WriteVp, home.0, key, version, 0);
 
         // Crashed followers will never answer: pre-acknowledge them so the
         // round completes on the surviving quorum.
@@ -232,18 +249,24 @@ impl Cluster {
     ) {
         let (cons, pers) = (self.cons, self.pers);
         let epoch = self.node_epoch[home.index()];
-        let node = &mut self.nodes[home.index()];
-        let pw = node.pending.get_mut(&seq).expect("just inserted");
-        let (key, version, bytes) = (pw.key, pw.version, pw.value_bytes);
+        let (key, version, bytes) = {
+            let pw = self.nodes[home.index()].pending.get(&seq).expect("just inserted");
+            (pw.key, pw.version, pw.value_bytes)
+        };
         let purpose = PersistPurpose::WriteLocal { seq };
         match pers {
             Persistency::Synchronous | Persistency::Strict => {
                 if cons == Consistency::Transactional && pers == Persistency::Synchronous {
                     // <Transactional, Synchronous> defers all persists to the
                     // transaction end (paper Figure 4): record for ENDX.
-                    pw.local_persisted = true;
-                    let txn = pw.txn.expect("transactional write carries its txn");
-                    let client = pw.client;
+                    let (client, txn) = {
+                        let pw = self.nodes[home.index()]
+                            .pending
+                            .get_mut(&seq)
+                            .expect("just inserted");
+                        pw.local_persisted = true;
+                        (pw.client, pw.txn.expect("transactional write carries its txn"))
+                    };
                     self.note_txn_local_write(client, txn, key, version, bytes);
                 } else if cons == Consistency::Causal {
                     // Causal: persists must respect the happens-before order,
@@ -260,53 +283,50 @@ impl Cluster {
                         },
                     );
                 } else {
-                    let done = node.mem.persist(applied_at, Self::addr(key), u64::from(bytes));
-                    if self.measuring {
-                        self.stats.persists_issued += 1;
-                    }
-                    ctx.schedule_at(
-                        done,
-                        Event::PersistDone(
-                            home,
-                            PersistCtx {
-                                key,
-                                version,
-                                purpose,
-                                epoch,
-                            },
-                        ),
+                    self.issue_persist(
+                        ctx,
+                        home,
+                        applied_at,
+                        Self::addr(key),
+                        u64::from(bytes),
+                        PersistCtx { key, version, purpose, epoch },
+                        true,
                     );
                 }
             }
             Persistency::ReadEnforced => {
-                let done = node.mem.persist(applied_at, Self::addr(key), u64::from(bytes));
-                if self.measuring {
-                    self.stats.persists_issued += 1;
-                }
-                ctx.schedule_at(
-                    done,
-                    Event::PersistDone(
-                        home,
-                        PersistCtx {
-                            key,
-                            version,
-                            purpose,
-                            epoch,
-                        },
-                    ),
+                self.issue_persist(
+                    ctx,
+                    home,
+                    applied_at,
+                    Self::addr(key),
+                    u64::from(bytes),
+                    PersistCtx { key, version, purpose, epoch },
+                    true,
                 );
             }
             Persistency::Scope => {
-                pw.local_persisted = true; // durability settled at scope end
-                let scope = pw.scope.expect("scoped write carries its scope");
-                node.scopes
+                let scope = {
+                    let pw = self.nodes[home.index()]
+                        .pending
+                        .get_mut(&seq)
+                        .expect("just inserted");
+                    pw.local_persisted = true; // durability settled at scope end
+                    pw.scope.expect("scoped write carries its scope")
+                };
+                self.nodes[home.index()]
+                    .scopes
                     .entry(scope)
                     .or_default()
                     .writes
                     .push((key, version, bytes));
             }
             Persistency::Eventual => {
-                pw.local_persisted = true; // never gates anything
+                self.nodes[home.index()]
+                    .pending
+                    .get_mut(&seq)
+                    .expect("just inserted")
+                    .local_persisted = true; // never gates anything
                 self.lazy_pending += 1;
                 self.update_buffer_gauge(ctx.now());
                 let fire = applied_at + self.cfg.lazy_persist_delay;
@@ -404,11 +424,42 @@ impl Cluster {
             pers_ok
         };
 
+        // Phase attribution: note the first instant each completion
+        // condition held (clamped to the local-apply time, below which the
+        // write could not have completed anyway).
+        {
+            let pw = self.nodes[home.index()].pending.get_mut(&seq).expect("present above");
+            if cons_ok && pw.cons_ok_at.is_none() {
+                pw.cons_ok_at = Some(ctx.now().max(earliest));
+            }
+            if pers_ok && pw.pers_ok_at.is_none() {
+                pw.pers_ok_at = Some(ctx.now().max(earliest));
+            }
+        }
+
         if local_applied && cons_ok && pers_ok && !client_acked {
-            let node = &mut self.nodes[home.index()];
-            let pw = node.pending.get_mut(&seq).expect("present above");
-            pw.client_acked = true;
             let t_done = ctx.now().max(earliest);
+            let (exec_at, queued_ns, cons_at, pers_at) = {
+                let node = &mut self.nodes[home.index()];
+                let pw = node.pending.get_mut(&seq).expect("present above");
+                pw.client_acked = true;
+                (
+                    pw.exec_at,
+                    pw.queued_ns,
+                    pw.cons_ok_at.unwrap_or(t_done),
+                    pw.pers_ok_at.unwrap_or(t_done),
+                )
+            };
+            if self.measuring && !abandoned {
+                let queue = Duration::from_nanos(queued_ns);
+                // Service: issue to round start, minus time spent queued.
+                let service = exec_at.saturating_since(issued_at).saturating_sub(queue);
+                // Network: local apply (VP) to consistency satisfaction.
+                let network = cons_at.saturating_since(earliest);
+                // Persist stall: extra wait for durability beyond that.
+                let persist_stall = pers_at.saturating_since(cons_at.max(earliest));
+                self.stats.phase.record_write(service, queue, network, persist_stall);
+            }
             if !abandoned {
                 if txn.is_some() {
                     self.txn_note_complete(ctx, client, false, t_done, key, version);
@@ -472,7 +523,10 @@ impl Cluster {
         if queue.is_empty() {
             self.nodes[home.index()].waiting_writes.remove(&key);
         }
-        self.begin_write_round(ctx, home, qw.client, qw.request, qw.issued_at, qw.txn, qw.scope);
+        let queued_ns = ctx.now().saturating_since(qw.queued_at).as_nanos();
+        self.begin_write_round(
+            ctx, home, qw.client, qw.request, qw.issued_at, queued_ns, qw.txn, qw.scope,
+        );
     }
 
     /// Enqueues a persist on a per-origin causal chain; starts it if the
@@ -493,29 +547,30 @@ impl Cluster {
     /// Starts the next persist of a chain if none is in flight.
     pub(crate) fn advance_chain(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, origin: NodeId) {
         let epoch = self.node_epoch[node.index()];
-        let n = &mut self.nodes[node.index()];
-        if n.chain_busy[origin.index()] {
-            return;
-        }
-        let Some(entry) = n.persist_chains[origin.index()].pop_front() else {
-            return;
+        let entry = {
+            let n = &mut self.nodes[node.index()];
+            if n.chain_busy[origin.index()] {
+                return;
+            }
+            let Some(entry) = n.persist_chains[origin.index()].pop_front() else {
+                return;
+            };
+            n.chain_busy[origin.index()] = true;
+            entry
         };
-        n.chain_busy[origin.index()] = true;
-        let done = n.mem.persist(ctx.now(), Self::addr(entry.key), u64::from(entry.bytes));
-        if self.measuring {
-            self.stats.persists_issued += 1;
-        }
-        ctx.schedule_at(
-            done,
-            Event::PersistDone(
-                node,
-                PersistCtx {
-                    key: entry.key,
-                    version: entry.version,
-                    purpose: entry.purpose,
-                    epoch,
-                },
-            ),
+        self.issue_persist(
+            ctx,
+            node,
+            ctx.now(),
+            Self::addr(entry.key),
+            u64::from(entry.bytes),
+            PersistCtx {
+                key: entry.key,
+                version: entry.version,
+                purpose: entry.purpose,
+                epoch,
+            },
+            true,
         );
         self.update_buffer_gauge(ctx.now());
     }

@@ -1,6 +1,7 @@
 //! Run statistics: everything Figures 6–9 and the §8 prose report.
 
 use ddp_sim::{Duration, Histogram, LevelGauge, SimTime};
+use ddp_trace::{PhaseAccum, PhaseBreakdown};
 
 /// Statistics gathered over the measured window of one simulated run.
 #[derive(Debug, Default)]
@@ -38,6 +39,12 @@ pub struct RunStats {
     pub persists_issued: u64,
     /// Cumulative time spent by persists waiting on busy NVM banks.
     pub nvm_queue_wait: Duration,
+    /// VP→DP durability lag: for each write, how long it was readable
+    /// before its first copy survived failure (the paper's defining
+    /// visible-but-not-durable window).
+    pub vp_dp_lag: Histogram,
+    /// Per-phase latency attribution over completed operations.
+    pub phase: PhaseAccum,
     /// Simulated time the measured window covered.
     pub measured_time: Duration,
     /// Simulated instant the measured window started.
@@ -118,10 +125,18 @@ pub struct RunSummary {
     pub mean_write_ns: f64,
     /// Mean access (read + write) latency in ns.
     pub mean_access_ns: f64,
+    /// Median read latency in ns.
+    pub p50_read_ns: f64,
+    /// Median write latency in ns.
+    pub p50_write_ns: f64,
     /// 95th-percentile read latency in ns.
     pub p95_read_ns: f64,
     /// 95th-percentile write latency in ns.
     pub p95_write_ns: f64,
+    /// 99th-percentile read latency in ns.
+    pub p99_read_ns: f64,
+    /// 99th-percentile write latency in ns.
+    pub p99_write_ns: f64,
     /// Bytes of network traffic per completed request.
     pub traffic_bytes_per_req: f64,
     /// Fraction of reads stalled on unpersisted writes.
@@ -143,21 +158,40 @@ pub struct RunSummary {
     /// Client operations abandoned by the operation timeout (zero on the
     /// fault-free path).
     pub client_timeouts: u64,
+    /// Mean VP→DP durability lag in ns (how long the average write was
+    /// readable before it could survive failure).
+    pub vp_dp_lag_mean_ns: f64,
+    /// 95th-percentile VP→DP durability lag in ns.
+    pub vp_dp_lag_p95_ns: f64,
+    /// Peak VP→DP durability lag in ns.
+    pub vp_dp_lag_max_ns: f64,
+    /// Per-op mean phase attribution (where the nanoseconds went).
+    pub phase: PhaseBreakdown,
 }
 
 impl RunSummary {
     /// Builds the summary from raw statistics.
     #[must_use]
     pub fn from_stats(stats: &RunStats) -> Self {
-        let completed = stats.completed().max(1);
+        let completed = stats.completed();
         RunSummary {
             throughput: stats.throughput(),
             mean_read_ns: stats.read_latency.mean().as_nanos() as f64,
             mean_write_ns: stats.write_latency.mean().as_nanos() as f64,
             mean_access_ns: stats.access_latency.mean().as_nanos() as f64,
+            p50_read_ns: stats.read_latency.percentile(0.50).as_nanos() as f64,
+            p50_write_ns: stats.write_latency.percentile(0.50).as_nanos() as f64,
             p95_read_ns: stats.read_latency.percentile(0.95).as_nanos() as f64,
             p95_write_ns: stats.write_latency.percentile(0.95).as_nanos() as f64,
-            traffic_bytes_per_req: stats.network_bytes as f64 / completed as f64,
+            p99_read_ns: stats.read_latency.percentile(0.99).as_nanos() as f64,
+            p99_write_ns: stats.write_latency.percentile(0.99).as_nanos() as f64,
+            // An empty run generated no traffic *and* served no requests:
+            // report 0, not bytes against a phantom request.
+            traffic_bytes_per_req: if completed == 0 {
+                0.0
+            } else {
+                stats.network_bytes as f64 / completed as f64
+            },
             read_persist_conflict_rate: stats.read_persist_conflict_rate(),
             txn_conflict_rate: stats.txn_conflict_rate(),
             mean_buffered_writes: stats.causal_buffered.time_weighted_mean(),
@@ -166,6 +200,15 @@ impl RunSummary {
             messages_duplicated: stats.messages_duplicated,
             retransmits: stats.retransmits,
             client_timeouts: stats.client_timeouts,
+            vp_dp_lag_mean_ns: stats.vp_dp_lag.mean().as_nanos() as f64,
+            vp_dp_lag_p95_ns: stats.vp_dp_lag.percentile(0.95).as_nanos() as f64,
+            vp_dp_lag_max_ns: stats.vp_dp_lag.max().as_nanos() as f64,
+            phase: PhaseBreakdown::from_accum(
+                &stats.phase,
+                stats.nvm_queue_wait,
+                stats.persists_issued,
+                stats.reads_completed,
+            ),
         }
     }
 }
@@ -226,5 +269,48 @@ mod tests {
         assert!((sum.mean_write_ns - 2_000.0).abs() < 1.0);
         assert!((sum.traffic_bytes_per_req - 100.0).abs() < 1e-9);
         assert!(sum.throughput > 0.0);
+        // Percentiles are ordered: p50 ≤ p95 ≤ p99 on every distribution.
+        assert!(sum.p50_read_ns <= sum.p95_read_ns);
+        assert!(sum.p95_read_ns <= sum.p99_read_ns);
+        assert!(sum.p50_write_ns <= sum.p95_write_ns);
+        assert!(sum.p95_write_ns <= sum.p99_write_ns);
+    }
+
+    #[test]
+    fn empty_run_reports_zero_traffic_per_request() {
+        // Regression: an empty run used to divide its (zero) byte count by
+        // a phantom request via `completed().max(1)`. With bytes present
+        // but nothing completed (a run cut off before any completion),
+        // that reported finite traffic against a request that never
+        // happened; it must be 0.0.
+        let s = RunStats {
+            network_bytes: 4_096,
+            ..RunStats::default()
+        };
+        assert_eq!(s.completed(), 0);
+        let sum = RunSummary::from_stats(&s);
+        assert_eq!(sum.traffic_bytes_per_req, 0.0);
+    }
+
+    #[test]
+    fn lag_and_phase_surface_in_summary() {
+        let mut s = RunStats::default();
+        s.vp_dp_lag.record(Duration::from_nanos(1_000));
+        s.vp_dp_lag.record(Duration::from_nanos(3_000));
+        s.phase.record_write(
+            Duration::from_nanos(100),
+            Duration::ZERO,
+            Duration::from_nanos(400),
+            Duration::from_nanos(50),
+        );
+        s.nvm_queue_wait = Duration::from_nanos(600);
+        s.persists_issued = 3;
+        let sum = RunSummary::from_stats(&s);
+        assert!((sum.vp_dp_lag_mean_ns - 2_000.0).abs() < 60.0);
+        assert!(sum.vp_dp_lag_p95_ns >= sum.vp_dp_lag_mean_ns);
+        assert!(sum.vp_dp_lag_max_ns >= sum.vp_dp_lag_p95_ns);
+        assert!((sum.phase.service_ns - 100.0).abs() < 1e-9);
+        assert!((sum.phase.network_ns - 400.0).abs() < 1e-9);
+        assert!((sum.phase.nvm_queue_ns - 200.0).abs() < 1e-9);
     }
 }

@@ -1,13 +1,21 @@
 //! Shared command-line arguments for every bench bin.
 //!
-//! All sweep binaries understand the same three flags, so figure
-//! regeneration, CI smoke runs, and ad-hoc sweeps compose uniformly:
+//! All sweep binaries understand the same flags, so figure regeneration,
+//! CI smoke runs, and ad-hoc sweeps compose uniformly:
 //!
 //! * `--threads N` — executor worker threads (default: `DDP_THREADS` or
 //!   the host's available parallelism);
 //! * `--json PATH` — append every run record to `PATH` as JSON lines;
+//! * `--csv PATH` — the same records as CSV (same field list by
+//!   construction: both serializers walk [`record_fields`]);
+//! * `--trace PATH` — enable event tracing and write the per-trial event
+//!   streams to `PATH` as JSON lines;
+//! * `--trace-sample NS` — with `--trace`, also emit gauge samples every
+//!   `NS` simulated nanoseconds;
 //! * `--quick` — shrink each trial to `ClusterConfig::quick()` request
 //!   counts (smoke-test scale).
+//!
+//! [`record_fields`]: crate::fields::record_fields
 
 use std::path::PathBuf;
 
@@ -18,6 +26,13 @@ pub struct HarnessArgs {
     pub threads: usize,
     /// JSON-lines output path, if requested.
     pub json: Option<PathBuf>,
+    /// CSV output path, if requested.
+    pub csv: Option<PathBuf>,
+    /// Trace event-stream output path; also enables event tracing on
+    /// every trial.
+    pub trace: Option<PathBuf>,
+    /// Gauge sample interval in simulated ns (requires `--trace`).
+    pub trace_sample: Option<u64>,
     /// Shrink every trial to smoke-test request counts.
     pub quick: bool,
 }
@@ -27,6 +42,9 @@ impl Default for HarnessArgs {
         HarnessArgs {
             threads: default_threads(),
             json: None,
+            csv: None,
+            trace: None,
+            trace_sample: None,
             quick: false,
         }
     }
@@ -38,8 +56,7 @@ impl HarnessArgs {
     pub fn sequential() -> Self {
         HarnessArgs {
             threads: 1,
-            json: None,
-            quick: false,
+            ..HarnessArgs::default()
         }
     }
 
@@ -65,9 +82,27 @@ impl HarnessArgs {
                     let v = it.next().ok_or("--json needs a path")?;
                     parsed.json = Some(PathBuf::from(v));
                 }
+                "--csv" => {
+                    let v = it.next().ok_or("--csv needs a path")?;
+                    parsed.csv = Some(PathBuf::from(v));
+                }
+                "--trace" => {
+                    let v = it.next().ok_or("--trace needs a path")?;
+                    parsed.trace = Some(PathBuf::from(v));
+                }
+                "--trace-sample" => {
+                    let v = it.next().ok_or("--trace-sample needs a value")?;
+                    parsed.trace_sample =
+                        Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--trace-sample needs a positive ns count, got {v:?}")
+                        })?);
+                }
                 "--quick" => parsed.quick = true,
                 other => return Err(format!("unknown argument {other:?}")),
             }
+        }
+        if parsed.trace_sample.is_some() && parsed.trace.is_none() {
+            return Err("--trace-sample requires --trace PATH".to_string());
         }
         Ok(parsed)
     }
@@ -85,10 +120,14 @@ impl HarnessArgs {
     #[must_use]
     pub fn usage(bin: &str) -> String {
         format!(
-            "usage: {bin} [--threads N] [--json PATH] [--quick]\n\
-             \x20 --threads N   executor worker threads (default: DDP_THREADS or all cores)\n\
-             \x20 --json PATH   write every run record to PATH as JSON lines\n\
-             \x20 --quick       smoke-test request counts (ClusterConfig::quick)"
+            "usage: {bin} [--threads N] [--json PATH] [--csv PATH] [--trace PATH] \
+             [--trace-sample NS] [--quick]\n\
+             \x20 --threads N        executor worker threads (default: DDP_THREADS or all cores)\n\
+             \x20 --json PATH        write every run record to PATH as JSON lines\n\
+             \x20 --csv PATH         write every run record to PATH as CSV (same fields)\n\
+             \x20 --trace PATH       enable event tracing; write event streams to PATH as JSON lines\n\
+             \x20 --trace-sample NS  with --trace, emit gauge samples every NS simulated ns\n\
+             \x20 --quick            smoke-test request counts (ClusterConfig::quick)"
         )
     }
 }
@@ -116,12 +155,31 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let a = parse(&["--threads", "4", "--json", "/tmp/out.jsonl", "--quick"]).unwrap();
+        let a = parse(&[
+            "--threads",
+            "4",
+            "--json",
+            "/tmp/out.jsonl",
+            "--csv",
+            "/tmp/out.csv",
+            "--trace",
+            "/tmp/trace.jsonl",
+            "--trace-sample",
+            "500000",
+            "--quick",
+        ])
+        .unwrap();
         assert_eq!(a.threads, 4);
         assert_eq!(
             a.json.as_deref(),
             Some(std::path::Path::new("/tmp/out.jsonl"))
         );
+        assert_eq!(a.csv.as_deref(), Some(std::path::Path::new("/tmp/out.csv")));
+        assert_eq!(
+            a.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/trace.jsonl"))
+        );
+        assert_eq!(a.trace_sample, Some(500_000));
         assert!(a.quick);
     }
 
@@ -131,13 +189,22 @@ mod tests {
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads", "four"]).is_err());
         assert!(parse(&["--json"]).is_err());
+        assert!(parse(&["--csv"]).is_err());
+        assert!(parse(&["--trace"]).is_err());
+        assert!(parse(&["--trace-sample", "0", "--trace", "/tmp/t.jsonl"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn trace_sample_requires_trace() {
+        assert!(parse(&["--trace-sample", "1000"]).is_err());
+        assert!(parse(&["--trace", "/tmp/t.jsonl", "--trace-sample", "1000"]).is_ok());
     }
 
     #[test]
     fn empty_args_use_defaults() {
         let a = parse(&[]).unwrap();
         assert!(a.threads >= 1);
-        assert!(a.json.is_none() && !a.quick);
+        assert!(a.json.is_none() && a.csv.is_none() && a.trace.is_none() && !a.quick);
     }
 }

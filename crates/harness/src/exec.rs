@@ -17,21 +17,27 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use ddp_core::{ClusterConfig, Simulation};
+use ddp_core::{ClusterConfig, Simulation, TraceDump};
 
 use crate::args::HarnessArgs;
+use crate::csv::CsvWriter;
 use crate::json::JsonLinesWriter;
 use crate::record::RunRecord;
 use crate::sweep::Sweep;
+use crate::trace::{trace_end_to_json, trace_event_to_json};
 
-/// Runs every trial of a sweep on `threads` workers and returns the
-/// records in grid order (index `i` of the result is trial `i` of the
-/// sweep, regardless of which worker ran it or when it finished).
-///
-/// Progress is reported on stderr as `[name] trial k/N <label> (t s)`
-/// plus a closing total; stdout is never touched.
+/// Runs every trial of a sweep on `threads` workers and returns, in grid
+/// order, each trial's record plus its drained trace dump (`None` unless
+/// the trial's config enabled event tracing). The trace must be drained
+/// inside the worker — the `Simulation` is dropped with the trial — so
+/// this is the executor's full-fidelity entry point; [`run_sweep_named`]
+/// is the common records-only view.
 #[must_use]
-pub fn run_sweep_named(name: &str, sweep: Sweep, threads: usize) -> Vec<RunRecord> {
+pub fn run_sweep_traced(
+    name: &str,
+    sweep: Sweep,
+    threads: usize,
+) -> Vec<(RunRecord, Option<TraceDump>)> {
     let trials = sweep.into_trials();
     let n = trials.len();
     if n == 0 {
@@ -41,7 +47,8 @@ pub fn run_sweep_named(name: &str, sweep: Sweep, threads: usize) -> Vec<RunRecor
     let started = Instant::now();
     let cursor = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    type Slot = Mutex<Option<(RunRecord, Option<TraceDump>)>>;
+    let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -55,7 +62,8 @@ pub fn run_sweep_named(name: &str, sweep: Sweep, threads: usize) -> Vec<RunRecor
                 let mut sim = Simulation::new(trial.cfg.clone());
                 sim.run();
                 let record = RunRecord::from_simulation(trial.index, trial.label.clone(), &mut sim);
-                *slots[i].lock().expect("result slot poisoned") = Some(record);
+                let trace = sim.take_trace();
+                *slots[i].lock().expect("result slot poisoned") = Some((record, trace));
                 let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!(
                     "[{name}] trial {done}/{n} {} ({:.2}s)",
@@ -77,6 +85,20 @@ pub fn run_sweep_named(name: &str, sweep: Sweep, threads: usize) -> Vec<RunRecor
                 .expect("result slot poisoned")
                 .expect("every scheduled trial produces a record")
         })
+        .collect()
+}
+
+/// Runs every trial of a sweep on `threads` workers and returns the
+/// records in grid order (index `i` of the result is trial `i` of the
+/// sweep, regardless of which worker ran it or when it finished).
+///
+/// Progress is reported on stderr as `[name] trial k/N <label> (t s)`
+/// plus a closing total; stdout is never touched.
+#[must_use]
+pub fn run_sweep_named(name: &str, sweep: Sweep, threads: usize) -> Vec<RunRecord> {
+    run_sweep_traced(name, sweep, threads)
+        .into_iter()
+        .map(|(record, _)| record)
         .collect()
 }
 
@@ -104,6 +126,8 @@ pub struct Harness {
     name: &'static str,
     args: HarnessArgs,
     writer: Option<JsonLinesWriter>,
+    csv_writer: Option<CsvWriter>,
+    trace_writer: Option<JsonLinesWriter>,
     started: Instant,
 }
 
@@ -112,17 +136,28 @@ impl Harness {
     ///
     /// # Panics
     ///
-    /// Panics if the `--json` path cannot be created.
+    /// Panics if the `--json`, `--csv`, or `--trace` path cannot be
+    /// created.
     #[must_use]
     pub fn new(name: &'static str, args: HarnessArgs) -> Self {
         let writer = args.json.as_ref().map(|path| {
             JsonLinesWriter::create(path)
                 .unwrap_or_else(|e| panic!("cannot create --json {}: {e}", path.display()))
         });
+        let csv_writer = args.csv.as_ref().map(|path| {
+            CsvWriter::create(path)
+                .unwrap_or_else(|e| panic!("cannot create --csv {}: {e}", path.display()))
+        });
+        let trace_writer = args.trace.as_ref().map(|path| {
+            JsonLinesWriter::create(path)
+                .unwrap_or_else(|e| panic!("cannot create --trace {}: {e}", path.display()))
+        });
         Harness {
             name,
             args,
             writer,
+            csv_writer,
+            trace_writer,
             started: Instant::now(),
         }
     }
@@ -146,20 +181,48 @@ impl Harness {
         &self.args
     }
 
-    /// Runs one sweep: applies `--quick`, executes on `--threads` workers,
-    /// appends every record to the `--json` stream, and returns the
+    /// Runs one sweep: applies `--quick` (and, under `--trace`, enables
+    /// event tracing on every trial), executes on `--threads` workers,
+    /// appends every record to the `--json`/`--csv` streams and every
+    /// trial's event stream to the `--trace` stream, and returns the
     /// records in grid order.
     pub fn run(&mut self, sweep: Sweep) -> Vec<RunRecord> {
-        let sweep = if self.args.quick {
+        let mut sweep = if self.args.quick {
             sweep.map_cfg(ClusterConfig::quick)
         } else {
             sweep
         };
-        let records = run_sweep_named(self.name, sweep, self.args.threads);
+        if self.args.trace.is_some() {
+            let mut trace_cfg = ddp_core::TraceConfig::enabled();
+            if let Some(ns) = self.args.trace_sample {
+                trace_cfg = trace_cfg.with_sample_interval(ddp_sim::Duration::from_nanos(ns));
+            }
+            sweep = sweep.map_cfg(|cfg| cfg.with_trace(trace_cfg));
+        }
+        let results = run_sweep_traced(self.name, sweep, self.args.threads);
+        let mut records = Vec::with_capacity(results.len());
+        for (record, dump) in results {
+            if let (Some(writer), Some(dump)) = (&mut self.trace_writer, dump) {
+                for event in &dump.events {
+                    writer
+                        .write_line(&trace_event_to_json(record.index, event))
+                        .expect("writing --trace event");
+                }
+                writer
+                    .write_line(&trace_end_to_json(record.index, &record.label, &dump))
+                    .expect("writing --trace trailer");
+            }
+            records.push(record);
+        }
         if let Some(writer) = &mut self.writer {
             writer
                 .write_records(&records)
                 .expect("writing --json records");
+        }
+        if let Some(writer) = &mut self.csv_writer {
+            writer
+                .write_records(&records)
+                .expect("writing --csv records");
         }
         records
     }
@@ -172,13 +235,31 @@ impl Harness {
         }
     }
 
-    /// Flushes the JSON stream and reports the bin's total wall-clock to
-    /// stderr.
+    /// Flushes the output streams and reports the bin's total wall-clock
+    /// to stderr.
     pub fn finish(mut self) {
         if let Some(writer) = &mut self.writer {
             writer.flush().expect("flushing --json stream");
             eprintln!(
                 "[{}] wrote {} JSON-lines record(s) to {}",
+                self.name,
+                writer.lines(),
+                writer.path().display()
+            );
+        }
+        if let Some(writer) = &mut self.csv_writer {
+            writer.flush().expect("flushing --csv stream");
+            eprintln!(
+                "[{}] wrote {} CSV row(s) to {}",
+                self.name,
+                writer.rows(),
+                writer.path().display()
+            );
+        }
+        if let Some(writer) = &mut self.trace_writer {
+            writer.flush().expect("flushing --trace stream");
+            eprintln!(
+                "[{}] wrote {} trace line(s) to {}",
                 self.name,
                 writer.lines(),
                 writer.path().display()

@@ -1,0 +1,95 @@
+//! The shared run-record field schema.
+//!
+//! `--json` and `--csv` must never drift apart, so neither serializer
+//! owns a field list: both walk the one produced by [`record_fields`].
+//! Adding a field here adds it to the JSON object *and* the CSV header in
+//! the same position; forgetting one output format is impossible by
+//! construction.
+
+use crate::record::RunRecord;
+
+/// One field value of a serialized run record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue<'a> {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (serialized as `null` in JSON when not finite).
+    F64(f64),
+    /// A string (escaped per output format).
+    Str(String),
+    /// A `(node, simulated ns)` event trace.
+    Pairs(&'a [(u8, u64)]),
+}
+
+/// The ordered `(name, value)` field list of one run record — the single
+/// schema both the JSON-lines and CSV writers serialize.
+#[must_use]
+pub fn record_fields(r: &RunRecord) -> Vec<(&'static str, FieldValue<'_>)> {
+    use FieldValue::{Pairs, Str, F64, U64};
+    let s = &r.summary;
+    let c = &r.counters;
+    vec![
+        ("index", U64(r.index as u64)),
+        ("label", Str(r.label.clone())),
+        ("consistency", Str(r.model.consistency.to_string())),
+        ("persistency", Str(r.model.persistency.to_string())),
+        ("throughput", F64(s.throughput)),
+        ("mean_read_ns", F64(s.mean_read_ns)),
+        ("mean_write_ns", F64(s.mean_write_ns)),
+        ("mean_access_ns", F64(s.mean_access_ns)),
+        ("p95_read_ns", F64(s.p95_read_ns)),
+        ("p95_write_ns", F64(s.p95_write_ns)),
+        ("traffic_bytes_per_req", F64(s.traffic_bytes_per_req)),
+        (
+            "read_persist_conflict_rate",
+            F64(s.read_persist_conflict_rate),
+        ),
+        ("txn_conflict_rate", F64(s.txn_conflict_rate)),
+        ("mean_buffered_writes", F64(s.mean_buffered_writes)),
+        ("max_buffered_writes", U64(s.max_buffered_writes)),
+        ("messages_dropped", U64(c.messages_dropped)),
+        ("messages_duplicated", U64(c.messages_duplicated)),
+        ("retransmits", U64(c.retransmits)),
+        ("client_timeouts", U64(c.client_timeouts)),
+        ("duplicates_suppressed", U64(c.duplicates_suppressed)),
+        ("transient_expirations", U64(c.transient_expirations)),
+        ("catchup_keys", U64(c.catchup_keys)),
+        ("txns_started", U64(c.txns_started)),
+        ("txns_conflicted", U64(c.txns_conflicted)),
+        ("txns_committed", U64(c.txns_committed)),
+        ("crashes", Pairs(&c.crashes)),
+        ("rejoins", Pairs(&c.rejoins)),
+        ("window_start_ns", U64(c.window_start_ns)),
+        ("measured_ns", U64(c.measured_ns)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddp_core::{ClusterConfig, DdpModel, Simulation};
+
+    fn record() -> RunRecord {
+        let mut cfg = ClusterConfig::micro21(DdpModel::baseline()).quick();
+        cfg.warmup_requests = 20;
+        cfg.measured_requests = 150;
+        let mut sim = Simulation::new(cfg);
+        sim.run();
+        RunRecord::from_simulation(0, "t".into(), &mut sim)
+    }
+
+    #[test]
+    fn field_names_are_unique_and_stable_at_the_front() {
+        let r = record();
+        let fields = record_fields(&r);
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        // The leading identity fields anchor downstream tooling.
+        assert_eq!(
+            &names[..4],
+            &["index", "label", "consistency", "persistency"]
+        );
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), fields.len(), "duplicate field name");
+    }
+}

@@ -13,6 +13,7 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use crate::fields::FieldValue;
 use crate::record::RunRecord;
 
 /// Escapes a string for inclusion in a JSON string literal (RFC 8259):
@@ -175,49 +176,28 @@ impl JsonObject {
 
 /// Serializes `(node, ns)` event traces as `[[node,ns],...]`.
 #[must_use]
-fn json_events(events: &[(u8, u64)]) -> String {
+pub(crate) fn json_events(events: &[(u8, u64)]) -> String {
     let cells: Vec<String> = events.iter().map(|(n, t)| format!("[{n},{t}]")).collect();
     format!("[{}]", cells.join(","))
 }
 
 /// Serializes one run record as a single JSON object (one JSON-lines row).
 ///
-/// Records contain only simulation output, so the serialized form is
-/// byte-identical no matter how many threads executed the sweep.
+/// The field list comes from [`record_fields`](crate::fields::record_fields)
+/// — the same schema the CSV writer walks, so the two formats cannot
+/// drift. Records contain only simulation output, so the serialized form
+/// is byte-identical no matter how many threads executed the sweep.
 #[must_use]
 pub fn record_to_json(r: &RunRecord) -> String {
     let mut o = JsonObject::new();
-    o.u64("index", r.index as u64);
-    o.str("label", &r.label);
-    o.str("consistency", &r.model.consistency.to_string());
-    o.str("persistency", &r.model.persistency.to_string());
-    let s = &r.summary;
-    o.f64("throughput", s.throughput);
-    o.f64("mean_read_ns", s.mean_read_ns);
-    o.f64("mean_write_ns", s.mean_write_ns);
-    o.f64("mean_access_ns", s.mean_access_ns);
-    o.f64("p95_read_ns", s.p95_read_ns);
-    o.f64("p95_write_ns", s.p95_write_ns);
-    o.f64("traffic_bytes_per_req", s.traffic_bytes_per_req);
-    o.f64("read_persist_conflict_rate", s.read_persist_conflict_rate);
-    o.f64("txn_conflict_rate", s.txn_conflict_rate);
-    o.f64("mean_buffered_writes", s.mean_buffered_writes);
-    o.u64("max_buffered_writes", s.max_buffered_writes);
-    let c = &r.counters;
-    o.u64("messages_dropped", c.messages_dropped);
-    o.u64("messages_duplicated", c.messages_duplicated);
-    o.u64("retransmits", c.retransmits);
-    o.u64("client_timeouts", c.client_timeouts);
-    o.u64("duplicates_suppressed", c.duplicates_suppressed);
-    o.u64("transient_expirations", c.transient_expirations);
-    o.u64("catchup_keys", c.catchup_keys);
-    o.u64("txns_started", c.txns_started);
-    o.u64("txns_conflicted", c.txns_conflicted);
-    o.u64("txns_committed", c.txns_committed);
-    o.raw("crashes", &json_events(&c.crashes));
-    o.raw("rejoins", &json_events(&c.rejoins));
-    o.u64("window_start_ns", c.window_start_ns);
-    o.u64("measured_ns", c.measured_ns);
+    for (name, value) in crate::fields::record_fields(r) {
+        match value {
+            FieldValue::U64(v) => o.u64(name, v),
+            FieldValue::F64(v) => o.f64(name, v),
+            FieldValue::Str(v) => o.str(name, &v),
+            FieldValue::Pairs(v) => o.raw(name, &json_events(v)),
+        }
+    }
     o.finish()
 }
 

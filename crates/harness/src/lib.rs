@@ -17,8 +17,11 @@
 //! 3. **Structured output + presentation** ([`JsonLinesWriter`],
 //!    [`record_to_json`], [`print_row`]/[`print_rule`]/[`bar`],
 //!    [`ratio`]/[`normalized`]) — a hand-rolled JSON-lines writer (the
-//!    build is offline; no serde) behind `--json PATH`, plus the table
-//!    helpers every figure prints through.
+//!    build is offline; no serde) behind `--json PATH`, a CSV twin behind
+//!    `--csv PATH` that walks the same [`record_fields`] schema (the two
+//!    formats cannot drift), per-trial trace event streams behind
+//!    `--trace PATH` / `--trace-sample NS`, plus the table helpers every
+//!    figure prints through.
 //!
 //! ```
 //! use ddp_core::{ClusterConfig, DdpModel};
@@ -38,18 +41,24 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod csv;
 pub mod exec;
+pub mod fields;
 pub mod json;
 pub mod record;
 pub mod sweep;
 pub mod table;
+pub mod trace;
 
 pub use args::{default_threads, HarnessArgs};
-pub use exec::{run_sweep, run_sweep_named, Harness};
+pub use csv::{csv_header, escape_csv, record_to_csv, CsvWriter};
+pub use exec::{run_sweep, run_sweep_named, run_sweep_traced, Harness};
+pub use fields::{record_fields, FieldValue};
 pub use json::{escape_json, json_f64, record_to_json, unescape_json, JsonLinesWriter, JsonObject};
 pub use record::{RunCounters, RunRecord};
 pub use sweep::{ModelGrid, Sweep, Trial};
 pub use table::{bar, normalized, print_row, print_rule, ratio};
+pub use trace::{trace_end_to_json, trace_event_to_json};
 
 use ddp_core::{ClusterConfig, DdpModel, RunSummary, Simulation};
 

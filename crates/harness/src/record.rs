@@ -98,6 +98,19 @@ pub struct RunRecord {
 }
 
 impl RunRecord {
+    /// A default-valued record used where only the field *shape* matters
+    /// (e.g. deriving the CSV header from the shared field schema).
+    #[must_use]
+    pub fn empty_schema_probe() -> Self {
+        RunRecord {
+            index: 0,
+            label: String::new(),
+            model: DdpModel::baseline(),
+            summary: RunSummary::from_stats(&RunStats::default()),
+            counters: RunCounters::default(),
+        }
+    }
+
     /// Runs one finished simulation into a record. The simulation must
     /// already have run (the executor guarantees this); calling `run` here
     /// again is a no-op that returns the cached report.

@@ -1,0 +1,141 @@
+//! JSON-lines serialization of trace event streams (`--trace PATH`).
+//!
+//! One line per [`TraceRecord`], with the payload words named per event
+//! kind (`key`, `version`, `lag_ns`, …) instead of the raw `a`/`b`/`c`/`d`
+//! slots, and one closing `trace_end` line per trial carrying the event
+//! and drop counts. Records contain only simulation output and trials are
+//! written in grid order, so the stream is byte-identical at any
+//! `--threads N`.
+
+use ddp_core::{StallCause, TraceDump, TraceEventKind, TraceRecord};
+
+use crate::json::JsonObject;
+
+/// Serializes one trace event as a single JSON object (one line of the
+/// `--trace` stream). `trial` is the grid index of the run the event
+/// belongs to.
+#[must_use]
+pub fn trace_event_to_json(trial: usize, r: &TraceRecord) -> String {
+    let mut o = JsonObject::new();
+    o.u64("trial", trial as u64);
+    o.str("kind", r.kind.name());
+    o.u64("seq", r.seq);
+    o.u64("at_ns", r.at_ns);
+    o.u64("node", u64::from(r.node));
+    match r.kind {
+        TraceEventKind::WriteIssue
+        | TraceEventKind::WriteVp
+        | TraceEventKind::ReplicaApply
+        | TraceEventKind::PersistComplete => {
+            o.u64("key", r.a);
+            o.u64("version", r.b);
+        }
+        TraceEventKind::PersistIssue => {
+            o.u64("key", r.a);
+            o.u64("version", r.b);
+            o.u64("queue_wait_ns", r.c);
+        }
+        TraceEventKind::WriteDp => {
+            o.u64("key", r.a);
+            o.u64("version", r.b);
+            o.u64("lag_ns", r.c);
+        }
+        TraceEventKind::ReadIssue => {
+            o.u64("key", r.a);
+        }
+        TraceEventKind::ReadComplete => {
+            o.u64("key", r.a);
+            o.u64("version", r.b);
+            o.u64("latency_ns", r.c);
+        }
+        TraceEventKind::WriteComplete => {
+            o.u64("key", r.a);
+            o.u64("version", r.b);
+            o.u64("latency_ns", r.c);
+        }
+        TraceEventKind::StallBegin => {
+            o.u64("key", r.a);
+            o.u64("blocking_version", r.b);
+            o.str("cause", StallCause(r.c).name());
+        }
+        TraceEventKind::StallEnd => {
+            o.u64("key", r.a);
+            o.u64("stall_ns", r.c);
+        }
+        TraceEventKind::Sample => {
+            o.u64("inflight_ops", r.a);
+            o.u64("buffered_writes", r.b);
+            o.u64("nvm_inflight", r.c);
+            o.u64("retransmits", r.d);
+        }
+    }
+    o.finish()
+}
+
+/// The closing line of one trial's trace stream: how many events survived
+/// the ring and how many were overwritten (`dropped` > 0 means the ring
+/// capacity was smaller than the run's event count).
+#[must_use]
+pub fn trace_end_to_json(trial: usize, label: &str, dump: &TraceDump) -> String {
+    let mut o = JsonObject::new();
+    o.u64("trial", trial as u64);
+    o.str("kind", "trace_end");
+    o.str("label", label);
+    o.u64("events", dump.events.len() as u64);
+    o.u64("dropped", dump.dropped);
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: TraceEventKind) -> TraceRecord {
+        TraceRecord {
+            seq: 7,
+            at_ns: 1_000,
+            a: 42,
+            b: 3,
+            c: 250,
+            d: 1,
+            kind,
+            node: 2,
+        }
+    }
+
+    #[test]
+    fn payload_words_are_named_per_kind() {
+        let dp = trace_event_to_json(0, &rec(TraceEventKind::WriteDp));
+        assert!(dp.contains("\"kind\":\"write_dp\""), "{dp}");
+        assert!(
+            dp.contains("\"key\":42") && dp.contains("\"lag_ns\":250"),
+            "{dp}"
+        );
+
+        let stall = trace_event_to_json(1, &rec(TraceEventKind::StallBegin));
+        assert!(
+            stall.contains("\"cause\":\"persist\"") && stall.contains("\"blocking_version\":3"),
+            "{stall}"
+        );
+
+        let sample = trace_event_to_json(2, &rec(TraceEventKind::Sample));
+        assert!(
+            sample.contains("\"inflight_ops\":42") && sample.contains("\"retransmits\":1"),
+            "{sample}"
+        );
+    }
+
+    #[test]
+    fn trace_end_reports_counts() {
+        let dump = TraceDump {
+            events: vec![rec(TraceEventKind::WriteVp)],
+            dropped: 9,
+        };
+        let line = trace_end_to_json(4, "<Lin,Sync>", &dump);
+        assert!(line.contains("\"kind\":\"trace_end\""), "{line}");
+        assert!(
+            line.contains("\"events\":1") && line.contains("\"dropped\":9"),
+            "{line}"
+        );
+    }
+}

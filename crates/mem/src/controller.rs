@@ -89,6 +89,13 @@ impl MemoryController {
         self.nvm.pressure(now)
     }
 
+    /// Number of persists still in flight at `now`, read-only (no gauge
+    /// updates, no pruning) — safe to call from trace sampling.
+    #[must_use]
+    pub fn nvm_pressure_at(&self, now: SimTime) -> usize {
+        self.nvm.pressure_at(now)
+    }
+
     /// Direct access to the NVM device (statistics).
     #[must_use]
     pub fn nvm(&self) -> &BankedDevice {

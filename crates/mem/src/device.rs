@@ -124,6 +124,14 @@ impl BankedDevice {
         self.completions.len()
     }
 
+    /// Number of requests still in flight at `now`, without touching any
+    /// bookkeeping (`pressure` prunes and updates the occupancy gauge).
+    /// Used by trace sampling, which must be read-only.
+    #[must_use]
+    pub fn pressure_at(&self, now: SimTime) -> usize {
+        self.completions.iter().filter(|&&c| c > now).count()
+    }
+
     /// The earliest time at which every request submitted so far has
     /// completed (the "drain point").
     #[must_use]

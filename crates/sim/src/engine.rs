@@ -50,6 +50,7 @@ pub trait Model {
 #[derive(Debug)]
 pub struct Context<'a, E> {
     now: SimTime,
+    seq: u64,
     queue: &'a mut EventQueue<E>,
     stop: &'a mut bool,
 }
@@ -59,6 +60,15 @@ impl<E> Context<'_, E> {
     #[must_use]
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The 1-based dispatch sequence number of the event being handled
+    /// (the engine's total-order counter). Events at equal timestamps are
+    /// dispatched in a deterministic order, so this number is a stable
+    /// anchor for trace records regardless of host threading.
+    #[must_use]
+    pub fn dispatch_seq(&self) -> u64 {
+        self.seq
     }
 
     /// Schedules `event` at absolute time `due`.
@@ -165,6 +175,7 @@ impl<E> Engine<E> {
             self.dispatched += 1;
             let mut ctx = Context {
                 now: t,
+                seq: self.dispatched,
                 queue: &mut self.queue,
                 stop: &mut stop,
             };

@@ -110,6 +110,13 @@ impl Histogram {
         Duration::from_nanos((self.sum / u128::from(self.count)) as u64)
     }
 
+    /// Sum of all recorded samples in nanoseconds (exact — kept at full
+    /// width, unlike the bucketed percentiles).
+    #[must_use]
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum
+    }
+
     /// Smallest recorded sample, or zero if empty.
     #[must_use]
     pub fn min(&self) -> Duration {

@@ -1,0 +1,77 @@
+//! Open-write lifecycle table: from Visibility Point to Durability Point.
+//!
+//! The paper's defining observable is the window in which an update is
+//! *readable but would not survive a failure* — visible at its
+//! coordinator, not yet persisted anywhere. Versions are cluster-unique
+//! (one shared counter), so a write is tracked from the instant its value
+//! becomes readable (VP) until the **first** persist of that version
+//! completes at any node (DP). The table lives outside `RunStats`
+//! because writes straddle the warm-up reset.
+
+use std::collections::BTreeMap;
+
+/// A write that has reached its VP but not yet its DP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenWrite {
+    /// The key written.
+    pub key: u64,
+    /// Simulated ns of the Visibility Point (coordinator apply instant).
+    pub vp_ns: u64,
+}
+
+/// Tracks visible-but-not-yet-durable writes by version.
+#[derive(Clone, Debug, Default)]
+pub struct WriteLifecycles {
+    open: BTreeMap<u64, OpenWrite>,
+}
+
+impl WriteLifecycles {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        WriteLifecycles::default()
+    }
+
+    /// Marks `version` visible at `vp_ns`. Idempotent: a retransmitted
+    /// write round keeps the original VP.
+    pub fn visible(&mut self, version: u64, key: u64, vp_ns: u64) {
+        self.open.entry(version).or_insert(OpenWrite { key, vp_ns });
+    }
+
+    /// Marks `version` durable; returns the open entry on the *first*
+    /// persist completion of this version and `None` on every later one
+    /// (other replicas persisting the same version).
+    pub fn durable(&mut self, version: u64) -> Option<OpenWrite> {
+        self.open.remove(&version)
+    }
+
+    /// Writes currently visible but not yet durable.
+    #[must_use]
+    pub fn open(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_persist_wins_and_later_ones_are_ignored() {
+        let mut t = WriteLifecycles::new();
+        t.visible(7, 100, 1_000);
+        t.visible(7, 100, 2_000); // retransmit: VP unchanged
+        assert_eq!(t.open(), 1);
+        let open = t.durable(7).expect("first completion closes the write");
+        assert_eq!(open.vp_ns, 1_000);
+        assert_eq!(open.key, 100);
+        assert!(t.durable(7).is_none(), "later persists of v7 are no-ops");
+        assert_eq!(t.open(), 0);
+    }
+
+    #[test]
+    fn unknown_versions_are_ignored() {
+        let mut t = WriteLifecycles::new();
+        assert!(t.durable(99).is_none());
+    }
+}

@@ -1,0 +1,184 @@
+//! The trace event vocabulary: one fixed-size, `Copy` record per event.
+//!
+//! Records are plain data — no heap, no strings — so pushing one onto the
+//! ring is a handful of stores. The payload words `a`/`b`/`c`/`d` are
+//! interpreted per [`TraceEventKind`]; the accessors on [`TraceRecord`]
+//! document the mapping, and the harness serializer names them properly
+//! in the JSON-lines output.
+
+/// What happened. Discriminants are stable so dumps are comparable across
+/// builds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum TraceEventKind {
+    /// A coordinator began a write round (`a`=key, `b`=version).
+    WriteIssue = 0,
+    /// The write reached its Visibility Point: applied in the
+    /// coordinator's volatile store, readable by the protocol
+    /// (`a`=key, `b`=version; the timestamp is the apply instant).
+    WriteVp = 1,
+    /// A follower applied the value from an INV or UPD (`a`=key,
+    /// `b`=version).
+    ReplicaApply = 2,
+    /// A persist was submitted to a node's NVM device (`a`=key,
+    /// `b`=version — 0 for transaction-log persists, `c`=bank queue
+    /// wait in ns).
+    PersistIssue = 3,
+    /// A persist completed at a node (`a`=key, `b`=version).
+    PersistComplete = 4,
+    /// The write reached its Durability Point: the *first* persist of
+    /// this version completed anywhere in the cluster (`a`=key,
+    /// `b`=version, `c`=VP→DP lag in ns).
+    WriteDp = 5,
+    /// A client read began executing at its coordinator (`a`=key).
+    ReadIssue = 6,
+    /// A client read completed (`a`=key, `c`=latency in ns).
+    ReadComplete = 7,
+    /// A client write completed (`a`=key, `b`=version, `c`=latency ns).
+    WriteComplete = 8,
+    /// A read stalled (`a`=key, `b`=blocking version, `c`=cause bits:
+    /// [`StallCause`]).
+    StallBegin = 9,
+    /// A stalled read resumed (`a`=key, `c`=stall duration in ns).
+    StallEnd = 10,
+    /// A fixed-interval gauge sample (`a`=in-flight client ops,
+    /// `b`=buffered causal writes, `c`=NVM persists in flight,
+    /// `d`=cumulative retransmits).
+    Sample = 11,
+}
+
+impl TraceEventKind {
+    /// Stable lower-snake name used in serialized trace streams.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::WriteIssue => "write_issue",
+            TraceEventKind::WriteVp => "write_vp",
+            TraceEventKind::ReplicaApply => "replica_apply",
+            TraceEventKind::PersistIssue => "persist_issue",
+            TraceEventKind::PersistComplete => "persist_complete",
+            TraceEventKind::WriteDp => "write_dp",
+            TraceEventKind::ReadIssue => "read_issue",
+            TraceEventKind::ReadComplete => "read_complete",
+            TraceEventKind::WriteComplete => "write_complete",
+            TraceEventKind::StallBegin => "stall_begin",
+            TraceEventKind::StallEnd => "stall_end",
+            TraceEventKind::Sample => "sample",
+        }
+    }
+}
+
+/// Why a read stalled, as a bitmask (a read can be blocked by both a
+/// transient consistency state and an unpersisted write at once).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallCause(pub u64);
+
+impl StallCause {
+    /// Blocked by a transient (invalidated, not yet validated) key.
+    pub const CONSISTENCY: StallCause = StallCause(1);
+    /// Blocked by a visible but not-yet-durable write.
+    pub const PERSIST: StallCause = StallCause(2);
+
+    /// True if the consistency bit is set.
+    #[must_use]
+    pub fn consistency(self) -> bool {
+        self.0 & Self::CONSISTENCY.0 != 0
+    }
+
+    /// True if the persist bit is set.
+    #[must_use]
+    pub fn persist(self) -> bool {
+        self.0 & Self::PERSIST.0 != 0
+    }
+
+    /// Stable name for serialized streams.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match (self.consistency(), self.persist()) {
+            (true, true) => "consistency+persist",
+            (true, false) => "consistency",
+            (false, true) => "persist",
+            (false, false) => "none",
+        }
+    }
+}
+
+impl std::ops::BitOr for StallCause {
+    type Output = StallCause;
+    fn bitor(self, rhs: StallCause) -> StallCause {
+        StallCause(self.0 | rhs.0)
+    }
+}
+
+/// One trace event. `Copy` and allocation-free: recording on the hot path
+/// is a bounds-checked store into a preallocated ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Engine dispatch sequence number of the event being handled when
+    /// this record was made — a deterministic total-order anchor that is
+    /// identical across executor thread counts.
+    pub seq: u64,
+    /// Simulated nanoseconds the record describes (for [`WriteVp`] this
+    /// is the apply instant, which may be slightly after the dispatch
+    /// that scheduled it).
+    ///
+    /// [`WriteVp`]: TraceEventKind::WriteVp
+    pub at_ns: u64,
+    /// First payload word (usually the key).
+    pub a: u64,
+    /// Second payload word (usually the version).
+    pub b: u64,
+    /// Third payload word (lag, latency, stall cause — per kind).
+    pub c: u64,
+    /// Fourth payload word (only [`Sample`] uses it).
+    ///
+    /// [`Sample`]: TraceEventKind::Sample
+    pub d: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Node the event happened at (coordinator for client-side events).
+    pub node: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable_and_unique() {
+        let kinds = [
+            TraceEventKind::WriteIssue,
+            TraceEventKind::WriteVp,
+            TraceEventKind::ReplicaApply,
+            TraceEventKind::PersistIssue,
+            TraceEventKind::PersistComplete,
+            TraceEventKind::WriteDp,
+            TraceEventKind::ReadIssue,
+            TraceEventKind::ReadComplete,
+            TraceEventKind::WriteComplete,
+            TraceEventKind::StallBegin,
+            TraceEventKind::StallEnd,
+            TraceEventKind::Sample,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn stall_cause_bits_compose() {
+        let both = StallCause::CONSISTENCY | StallCause::PERSIST;
+        assert!(both.consistency() && both.persist());
+        assert_eq!(both.name(), "consistency+persist");
+        assert_eq!(StallCause::CONSISTENCY.name(), "consistency");
+        assert_eq!(StallCause::PERSIST.name(), "persist");
+        assert_eq!(StallCause(0).name(), "none");
+    }
+
+    #[test]
+    fn record_is_compact() {
+        // The ring preallocates capacity × this size; keep it cache-friendly.
+        assert!(std::mem::size_of::<TraceRecord>() <= 56);
+    }
+}
