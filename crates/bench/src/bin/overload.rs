@@ -1,0 +1,189 @@
+//! Open-loop overload sweep — goodput knees and tail behavior of the 25
+//! DDP models under saturation, with and without admission control.
+//!
+//! Part 1 probes each model's closed-loop capacity (the service rate the
+//! protocol sustains with the configured client pool); the open-loop
+//! offered-load axis is expressed in multiples of that capacity, so every
+//! model is pushed through its own knee rather than an arbitrary fixed
+//! rate.
+//!
+//! Part 2 sweeps offered load across the knee with the default bounded
+//! admission queue (load shedding + client retry), printing goodput
+//! retention relative to capacity and the shed fraction at each point.
+//!
+//! Part 3 contrasts the top load point under admission control against an
+//! unbounded queue: the bounded configuration holds its tail (p99/p999)
+//! flat and sheds the excess, while the unbounded queue accepts
+//! everything and pays with a divergent tail and queue depth.
+//!
+//! `--load R1,R2,…` overrides the capacity multipliers; `--seeds N`
+//! replicates the overload sweep and prints goodput as mean ±stddev.
+
+use ddp_core::{ClusterConfig, DdpModel, OpenLoopPlan};
+use ddp_harness::{print_rule, ratio, Harness, Sweep};
+
+/// Default offered-load points, as multiples of each model's measured
+/// closed-loop capacity: three below/at the knee, two past it.
+const LOAD_MULTIPLIERS: [f64; 5] = [0.5, 0.8, 1.1, 1.5, 2.5];
+
+fn probe_config(model: DdpModel) -> ClusterConfig {
+    // Closed-loop capacity probe: same cluster, no arrival process.
+    let mut cfg = ClusterConfig::micro21(model);
+    cfg.warmup_requests = 300;
+    cfg.measured_requests = 3_000;
+    cfg
+}
+
+fn open_config(model: DdpModel, plan: OpenLoopPlan) -> ClusterConfig {
+    let mut cfg = ClusterConfig::micro21(model).with_open_loop(plan);
+    cfg.warmup_requests = 300;
+    cfg.measured_requests = 3_000;
+    cfg
+}
+
+fn main() {
+    let mut harness = Harness::from_env("overload");
+    let loads: Vec<f64> = if harness.args().load.is_empty() {
+        LOAD_MULTIPLIERS.to_vec()
+    } else {
+        harness.args().load.clone()
+    };
+    let seeds = harness.args().seeds;
+    println!("Open-loop overload sweep: 25 DDP models across the saturation knee\n");
+
+    // Part 1: closed-loop capacity per model anchors the offered-load axis.
+    let capacity_records = harness.run(Sweep::grid25(probe_config));
+    println!("Part 1 - closed-loop capacity (the service rate the pool sustains)");
+    println!("{:<28} {:>12} {:>12}", "model", "cap(req/s)", "mean(ns)");
+    print_rule(3);
+    for model in DdpModel::all() {
+        let s = &capacity_records[model.grid_index()].summary;
+        println!(
+            "{:<28} {:>12.3e} {:>12.0}",
+            model.to_string(),
+            s.throughput,
+            s.mean_access_ns
+        );
+    }
+
+    // Part 2 grid: model-major, load-minor, bounded admission queue with
+    // the default retry budget. Offered rates scale off part 1, so the
+    // same multiplier stresses every model equally.
+    let mut bounded_sweep = Sweep::new();
+    for model in DdpModel::all() {
+        let capacity = capacity_records[model.grid_index()].summary.throughput;
+        for mult in &loads {
+            let offered = capacity * mult;
+            bounded_sweep.push(
+                format!("{model} x{mult}"),
+                open_config(model, OpenLoopPlan::poisson(offered)),
+            );
+        }
+    }
+    let cells = bounded_sweep.len();
+    let (bounded_records, bounded_agg) = harness.run_seeded(bounded_sweep);
+    let stride = loads.len();
+    // Aggregates are per-cell regardless of --seeds; with one seed they
+    // degenerate to the single run's values.
+    assert_eq!(bounded_agg.len(), cells);
+
+    println!("\nPart 2 - bounded admission queue (goodput / capacity, shed at top load)");
+    if seeds > 1 {
+        println!("({seeds} seeds per cell; goodput ratios are means across seeds)");
+    }
+    print!("{:<28}", "model");
+    for mult in &loads {
+        print!(" {:>8}", format!("x{mult}"));
+    }
+    println!(" {:>8} {:>9}", "shed%", "p999(ns)");
+    print_rule(6);
+    for model in DdpModel::all() {
+        let capacity = capacity_records[model.grid_index()].summary.throughput;
+        let row = &bounded_agg[model.grid_index() * stride..(model.grid_index() + 1) * stride];
+        print!("{:<28}", model.to_string());
+        for cell in row {
+            print!(" {:>8.2}", ratio(cell.throughput.mean, capacity));
+        }
+        let top = &row[stride - 1];
+        println!(
+            " {:>8.1} {:>9.0}",
+            top.shed_rate.mean * 100.0,
+            top.p999_write_ns.mean
+        );
+    }
+
+    // Knee check: past saturation, admission control must keep goodput
+    // near the measured capacity instead of collapsing.
+    let mut knee_failures = 0;
+    for model in DdpModel::all() {
+        let capacity = capacity_records[model.grid_index()].summary.throughput;
+        let row = &bounded_agg[model.grid_index() * stride..(model.grid_index() + 1) * stride];
+        let peak = row
+            .iter()
+            .map(|c| c.throughput.mean)
+            .fold(0.0_f64, f64::max);
+        let top = row[stride - 1].throughput.mean;
+        if top < 0.8 * peak {
+            knee_failures += 1;
+            eprintln!(
+                "[overload] WARN {model}: goodput past the knee fell to {:.2} of peak \
+                 (top {top:.3e}, peak {peak:.3e}, capacity {capacity:.3e})",
+                top / peak
+            );
+        }
+    }
+
+    // Part 3 grid: the top load point again, with the queue unbounded and
+    // retries off — every arrival is accepted and waits.
+    let top_mult = loads.last().copied().unwrap_or(2.5);
+    let mut unbounded_sweep = Sweep::new();
+    for model in DdpModel::all() {
+        let capacity = capacity_records[model.grid_index()].summary.throughput;
+        unbounded_sweep.push(
+            format!("{model} x{top_mult} unbounded"),
+            open_config(
+                model,
+                OpenLoopPlan::poisson(capacity * top_mult)
+                    .with_queue_capacity(None)
+                    .with_retries(0),
+            ),
+        );
+    }
+    let (unbounded_records, unbounded_agg) = harness.run_seeded(unbounded_sweep);
+
+    println!("\nPart 3 - x{top_mult} offered load: admission control vs unbounded queue");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "model", "b.p99", "b.p999", "u.p99", "u.p999", "u/b", "u.maxq"
+    );
+    print_rule(7);
+    for model in DdpModel::all() {
+        let bounded = &bounded_agg[model.grid_index() * stride + (stride - 1)];
+        let unbounded = &unbounded_agg[model.grid_index()];
+        // p99 and the peak queue depth live on the per-seed records, not
+        // the aggregate; read replica 0's record for those columns.
+        let b_rec = &bounded_records[model.grid_index() * stride + (stride - 1)];
+        let u_rec = &unbounded_records[model.grid_index()];
+        println!(
+            "{:<28} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>8.1} {:>8}",
+            model.to_string(),
+            b_rec.summary.p99_write_ns,
+            bounded.p999_write_ns.mean,
+            u_rec.summary.p99_write_ns,
+            unbounded.p999_write_ns.mean,
+            ratio(unbounded.p999_write_ns.mean, bounded.p999_write_ns.mean),
+            u_rec.summary.max_admission_queue
+        );
+    }
+
+    println!(
+        "\ntakeaway: past the saturation knee a bounded admission queue sheds the\n\
+         excess and holds goodput near capacity with a flat tail; an unbounded\n\
+         queue sheds nothing, so its backlog -- and every request's queue wait --\n\
+         grows with the run and the p999 tail diverges."
+    );
+    if knee_failures > 0 {
+        eprintln!("[overload] {knee_failures} model(s) lost >20% of peak goodput past the knee");
+    }
+    harness.finish();
+}

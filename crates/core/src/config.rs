@@ -5,7 +5,7 @@ use ddp_net::NetworkParams;
 use ddp_sim::Duration;
 use ddp_store::StoreKind;
 use ddp_trace::TraceConfig;
-use ddp_workload::WorkloadSpec;
+use ddp_workload::{ArrivalProcess, WorkloadSpec};
 
 use crate::model::DdpModel;
 
@@ -148,6 +148,126 @@ impl Default for FaultPlan {
     }
 }
 
+/// Bursty-traffic shape for an open-loop run: the arrival stream alternates
+/// between a quiet and a burst phase (two-state MMPP), keeping the requested
+/// long-run mean rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstProfile {
+    /// Burst-phase rate as a multiple of the quiet-phase rate (`>= 1`).
+    pub high_ratio: f64,
+    /// Mean dwell time in each phase.
+    pub mean_dwell: Duration,
+}
+
+/// Open-loop client mode: requests arrive at a configured *rate* rather
+/// than from a fixed closed loop, so offered load can exceed capacity.
+///
+/// Arrivals are spread round-robin over the nodes. Each node owns a pool of
+/// session slots (its share of [`ClusterConfig::clients`]) and a bounded
+/// admission queue. An arrival binds a free slot immediately, waits in the
+/// queue if all slots are busy, or — when the queue is full — is rejected
+/// and retried client-side with exponential backoff and jitter until
+/// `max_retries` is exhausted, at which point it is shed.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_core::OpenLoopPlan;
+///
+/// let plan = OpenLoopPlan::poisson(2_000_000.0);
+/// assert!(plan.queue_capacity.is_some());
+/// assert!(plan.validate().is_ok());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenLoopPlan {
+    /// Long-run mean offered load, requests per simulated second.
+    pub offered_per_sec: f64,
+    /// Bursty (MMPP) modulation; `None` keeps plain Poisson arrivals.
+    pub burst: Option<BurstProfile>,
+    /// Per-node admission queue capacity; `None` means unbounded (no load
+    /// shedding — the degenerate configuration the overload bench compares
+    /// against).
+    pub queue_capacity: Option<u32>,
+    /// Rejected arrivals retry this many times before being shed for good.
+    pub max_retries: u32,
+    /// Base retry backoff; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Uniform jitter added to each retry backoff, so retries from a burst
+    /// of rejections don't re-collide.
+    pub retry_jitter: Duration,
+}
+
+impl OpenLoopPlan {
+    /// Poisson arrivals at `offered_per_sec` with the default admission
+    /// policy: a 64-deep per-node queue, 3 retries, 5 µs base backoff.
+    #[must_use]
+    pub fn poisson(offered_per_sec: f64) -> Self {
+        OpenLoopPlan {
+            offered_per_sec,
+            burst: None,
+            queue_capacity: Some(64),
+            max_retries: 3,
+            retry_backoff: Duration::from_micros(5),
+            retry_jitter: Duration::from_micros(5),
+        }
+    }
+
+    /// Switches to bursty arrivals: the burst phase runs at `high_ratio`
+    /// times the quiet rate, with `mean_dwell` average time in each phase.
+    #[must_use]
+    pub fn with_burst(mut self, high_ratio: f64, mean_dwell: Duration) -> Self {
+        self.burst = Some(BurstProfile { high_ratio, mean_dwell });
+        self
+    }
+
+    /// Overrides the per-node admission queue capacity (`None` = unbounded).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: Option<u32>) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Overrides the client-side retry budget.
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// The arrival process this plan describes.
+    #[must_use]
+    pub fn arrival_process(&self) -> ArrivalProcess {
+        match self.burst {
+            None => ArrivalProcess::poisson(self.offered_per_sec),
+            Some(b) => ArrivalProcess::bursty(self.offered_per_sec, b.high_ratio, b.mean_dwell),
+        }
+    }
+
+    /// Validates the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.arrival_process().validate()?;
+        if let Some(b) = self.burst {
+            if !(b.high_ratio.is_finite() && b.high_ratio >= 1.0) {
+                return Err(format!("burst high_ratio must be >= 1, got {}", b.high_ratio));
+            }
+        }
+        if self.queue_capacity == Some(0) {
+            return Err("queue_capacity 0 would reject every queued arrival; use Some(n>0) or None".into());
+        }
+        if self.max_retries > 0 && self.retry_backoff == Duration::ZERO {
+            return Err("retry_backoff must be positive when retries are enabled".into());
+        }
+        if self.max_retries > 16 {
+            return Err("max_retries > 16 overflows the backoff schedule".into());
+        }
+        Ok(())
+    }
+}
+
 /// Full configuration of one simulated experiment.
 ///
 /// Defaults reproduce the paper's setup: 5 servers, 20 clients per server
@@ -211,6 +331,11 @@ pub struct ClusterConfig {
     /// consistency/durability checkers. Off by default: the log grows with
     /// the run length.
     pub record_observations: bool,
+    /// Open-loop arrival mode; `None` keeps the paper's closed-loop
+    /// clients. When set, `clients` becomes the number of concurrent
+    /// session slots (maximum in-service requests) rather than a closed
+    /// loop, and arrivals follow the plan's rate process.
+    pub open_loop: Option<OpenLoopPlan>,
     /// Fault-injection plan; inert by default.
     pub faults: FaultPlan,
     /// Event tracing and gauge sampling; inert by default. The tracer is
@@ -242,6 +367,7 @@ impl ClusterConfig {
             warmup_requests: 2_000,
             measured_requests: 20_000,
             record_observations: false,
+            open_loop: None,
             faults: FaultPlan::none(),
             trace: TraceConfig::default(),
         }
@@ -304,6 +430,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Switches the run to open-loop arrivals under `plan`.
+    #[must_use]
+    pub fn with_open_loop(mut self, plan: OpenLoopPlan) -> Self {
+        self.open_loop = Some(plan);
+        self
+    }
+
     /// Installs a full fault-injection plan.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
@@ -347,6 +480,12 @@ impl ClusterConfig {
         }
         if self.measured_requests == 0 {
             return Err("measured_requests must be positive".into());
+        }
+        if let Some(ol) = &self.open_loop {
+            ol.validate().map_err(|e| format!("open_loop: {e}"))?;
+            if self.clients < u32::from(self.nodes) {
+                return Err("open_loop needs a session slot on every node (clients >= nodes)".into());
+            }
         }
         self.faults.validate(self.nodes)?;
         if self.faults.active() && self.nodes > 64 {
@@ -418,6 +557,44 @@ mod tests {
         let mut bad = ClusterConfig::micro21(DdpModel::baseline());
         bad.trace.sample_interval = Some(Duration::ZERO);
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn open_loop_is_off_by_default_and_validated_when_on() {
+        let cfg = ClusterConfig::micro21(DdpModel::baseline());
+        assert!(cfg.open_loop.is_none());
+
+        let on = ClusterConfig::micro21(DdpModel::baseline())
+            .with_open_loop(OpenLoopPlan::poisson(1e6).with_burst(4.0, Duration::from_micros(50)));
+        assert!(on.validate().is_ok());
+
+        let bad_rate =
+            ClusterConfig::micro21(DdpModel::baseline()).with_open_loop(OpenLoopPlan::poisson(0.0));
+        assert!(bad_rate.validate().is_err());
+
+        let zero_queue = ClusterConfig::micro21(DdpModel::baseline())
+            .with_open_loop(OpenLoopPlan::poisson(1e6).with_queue_capacity(Some(0)));
+        assert!(zero_queue.validate().is_err());
+
+        let mut no_backoff =
+            ClusterConfig::micro21(DdpModel::baseline()).with_open_loop(OpenLoopPlan::poisson(1e6));
+        no_backoff.open_loop.as_mut().unwrap().retry_backoff = Duration::ZERO;
+        assert!(no_backoff.validate().is_err());
+
+        let bad_burst = ClusterConfig::micro21(DdpModel::baseline())
+            .with_open_loop(OpenLoopPlan::poisson(1e6).with_burst(0.5, Duration::from_micros(50)));
+        assert!(bad_burst.validate().is_err());
+    }
+
+    #[test]
+    fn open_loop_plan_maps_to_arrival_process() {
+        use ddp_workload::ArrivalProcess;
+        let plain = OpenLoopPlan::poisson(5e5);
+        assert_eq!(plain.arrival_process(), ArrivalProcess::poisson(5e5));
+
+        let bursty = OpenLoopPlan::poisson(5e5).with_burst(3.0, Duration::from_micros(20));
+        let p = bursty.arrival_process();
+        assert!((p.mean_rate() - 5e5).abs() < 1e-6);
     }
 
     #[test]

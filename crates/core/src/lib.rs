@@ -64,13 +64,13 @@ pub mod traits_table;
 
 pub use cauhist::VectorClock;
 pub use checker::{CheckOutcome, HistoryChecker};
-pub use config::{ClusterConfig, CrashEvent, FaultPlan};
+pub use config::{BurstProfile, ClusterConfig, CrashEvent, FaultPlan, OpenLoopPlan};
 pub use failure::{crash_snapshot, ClusterSnapshot, NodeImage};
 pub use message::{Message, ScopeId, TxnId, WriteId};
 pub use model::{Consistency, DdpModel, Persistency};
 pub use protocol::{
-    run_experiment, Cluster, ObservationLog, ReadObservation, RunReport, Simulation,
-    WriteObservation,
+    run_experiment, Cluster, ObservationLog, OpenLoopAccounting, ReadObservation, RunReport,
+    Simulation, WriteObservation,
 };
 pub use recovery::{recover, RecoveredState, RecoveryPolicy};
 pub use recovery_time::{estimate_recovery, RecoveryEstimate};

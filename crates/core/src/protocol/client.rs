@@ -16,7 +16,12 @@ use super::{ClientPhase, Cluster, Event, ObservationLog, ReadObservation, WriteO
 impl Cluster {
     /// The node that coordinates a client's requests.
     pub(crate) fn home_of(&self, client: ClientId) -> NodeId {
-        NodeId(self.clients.clients().nth(client.index()).map_or(0, |c| c.home_node()))
+        let home = self.clients.clients().nth(client.index()).map(|c| c.home_node());
+        debug_assert!(
+            home.is_some(),
+            "home_of: {client} is not in this cluster's pool"
+        );
+        NodeId(home.unwrap_or(0))
     }
 
     /// Handles a client being ready to issue its next request. `token` is
@@ -52,8 +57,13 @@ impl Cluster {
             return;
         }
         let request = self.clients.client_mut(client).next_request();
-        self.cstate[client.index()].phase = ClientPhase::Busy;
-        self.dispatch_request(ctx, client, request, ctx.now());
+        let cr = &mut self.cstate[client.index()];
+        cr.phase = ClientPhase::Busy;
+        // Open-loop sessions anchor latency at the arrival, so admission
+        // queue wait and rejection backoff count against the request.
+        // Closed loops never set the anchor.
+        let issued_at = cr.ol_anchor.take().unwrap_or(ctx.now());
+        self.dispatch_request(ctx, client, request, issued_at);
     }
 
     /// Routes one plain (non-transactional) request into the protocol.
@@ -222,8 +232,9 @@ impl Cluster {
             window_start: now,
             ..RunStats::default()
         };
-        // Carry the buffer gauge's current level across the reset.
+        // Carry the gauges' current levels across the reset.
         fresh.causal_buffered.set(now, self.stats.causal_buffered.current());
+        fresh.admission_queue.set(now, self.stats.admission_queue.current());
         // The fault trace describes the whole run, not the window.
         fresh.crashes = std::mem::take(&mut self.stats.crashes);
         fresh.rejoins = std::mem::take(&mut self.stats.rejoins);
@@ -231,7 +242,8 @@ impl Cluster {
         self.update_buffer_gauge(now);
     }
 
-    /// Schedules the client's next issue after its think time.
+    /// Schedules the client's next issue after its think time (closed
+    /// loop), or continues/releases the bound session (open loop).
     pub(crate) fn schedule_next_issue(
         &mut self,
         ctx: &mut Context<'_, Event>,
@@ -239,6 +251,10 @@ impl Cluster {
         not_before: SimTime,
     ) {
         if self.done {
+            return;
+        }
+        if self.ol.is_some() {
+            self.open_loop_next(ctx, client, not_before);
             return;
         }
         let think = self.clients.client_mut(client).think();

@@ -11,6 +11,7 @@
 //! The module is split by protocol role:
 //!
 //! * `client`  — the closed-loop request driver (issue, complete, warm-up);
+//! * `admission` — open-loop arrivals, bounded admission queues, shedding;
 //! * `write`   — the coordinator write path;
 //! * `read`    — the read path and its stall rules;
 //! * `deliver` — follower/coordinator message handlers;
@@ -18,6 +19,7 @@
 //! * `txn`     — transactions (INITX/ENDX, conflict detection, wound-wait);
 //! * `scope`   — scope persistency (PERSIST rounds).
 
+mod admission;
 mod client;
 mod deliver;
 mod fault;
@@ -43,6 +45,9 @@ use crate::replica::ReplicaStore;
 use crate::stats::{RunStats, RunSummary};
 use ddp_trace::{SampleClock, TraceDump, TraceEventKind, TraceRecord, Tracer, WriteLifecycles};
 
+pub use admission::OpenLoopAccounting;
+use admission::OpenLoopState;
+
 /// Simulation events dispatched by the engine.
 ///
 /// Public because it is [`Cluster`]'s [`Model::Event`] type; library users
@@ -56,6 +61,18 @@ use ddp_trace::{SampleClock, TraceDump, TraceEventKind, TraceRecord, Tracer, Wri
 pub enum Event {
     /// A client is ready to issue its next request.
     Issue(ClientId, u64),
+    /// An open-loop request arrives at the cluster edge (open-loop runs
+    /// only); each arrival schedules the next, independent of service.
+    Arrival,
+    /// A rejected open-loop arrival retries after its backoff.
+    ArrivalRetry {
+        /// The node the arrival targets.
+        node: NodeId,
+        /// The arrival's original time (latency anchor).
+        anchor: SimTime,
+        /// Retry attempt about to be made (1-based).
+        attempt: u32,
+    },
     /// A protocol message arrives at a node.
     Deliver(NodeId, Message),
     /// An NVM persist completes at a node.
@@ -433,6 +450,10 @@ pub(crate) struct ClientRun {
     /// Progress token: advanced on every successful issue hand-off and by
     /// the timeout reset path, so superseded client events are dropped.
     pub op_token: u64,
+    /// Open-loop latency anchor: the arrival time of the session bound to
+    /// this slot, consumed by the first issue so queue wait and retry
+    /// backoff count against the request. Always `None` on closed loops.
+    pub ol_anchor: Option<SimTime>,
 }
 
 impl ClientRun {
@@ -452,6 +473,7 @@ impl ClientRun {
             txn_buffer: Vec::new(),
             txn_writes: Vec::new(),
             op_token: 0,
+            ol_anchor: None,
         }
     }
 }
@@ -512,6 +534,8 @@ pub struct Cluster {
     /// Updates whose lazy persist has not completed (buffer-gauge input).
     pub(crate) lazy_pending: u64,
     pub(crate) done: bool,
+    /// Open-loop arrival and admission state (`None` on closed loops).
+    pub(crate) ol: Option<OpenLoopState>,
     /// Cached `cfg.faults.active()`: arms the robustness machinery.
     pub(crate) faults_active: bool,
     /// Liveness of each node (all true on the fault-free path).
@@ -563,6 +587,7 @@ impl Cluster {
             });
         }
         let n = cfg.nodes as usize;
+        let ol = OpenLoopState::for_config(&cfg, &clients);
         Cluster {
             cons: cfg.model.consistency,
             pers: cfg.model.persistency,
@@ -579,6 +604,7 @@ impl Cluster {
             active_txns: BTreeMap::new(),
             lazy_pending: 0,
             done: false,
+            ol,
             faults_active: cfg.faults.active(),
             node_up: vec![true; n],
             node_epoch: vec![0; n],
@@ -771,6 +797,18 @@ impl Cluster {
                     kind: TraceEventKind::Sample,
                     node: u8::MAX,
                 });
+                if let Some(ol) = &self.ol {
+                    self.tracer.push(TraceRecord {
+                        seq,
+                        at_ns,
+                        a: ol.queued(),
+                        b: ol.shed_total,
+                        c: self.stats.ol_retries,
+                        d: self.stats.ol_rejections,
+                        kind: TraceEventKind::AdmissionSample,
+                        node: u8::MAX,
+                    });
+                }
             }
         }
     }
@@ -857,6 +895,10 @@ impl Model for Cluster {
         self.maybe_sample(ctx);
         match event {
             Event::Issue(client, token) => self.on_issue(ctx, client, token),
+            Event::Arrival => self.on_arrival(ctx),
+            Event::ArrivalRetry { node, anchor, attempt } => {
+                self.on_arrival_retry(ctx, node, anchor, attempt);
+            }
             Event::Deliver(node, msg) => {
                 if self.faults_active && !self.node_up[node.index()] {
                     // Addressed to a crashed node: the fabric can't deliver.
@@ -975,11 +1017,19 @@ impl Simulation {
     /// Calling `run` again returns the same report without re-running.
     pub fn run(&mut self) -> RunReport {
         if !self.ran {
-            // Stagger client starts over the first microsecond so the
-            // initial broadcast burst does not phase-lock.
-            for i in 0..self.cluster.cfg.clients {
-                let start = SimTime::ZERO + Duration::from_nanos(u64::from(i) * 10);
-                self.engine.schedule(start, Event::Issue(ClientId(i), 0));
+            if let Some(ol) = self.cluster.ol.as_mut() {
+                // Open loop: the run is driven by the arrival chain; all
+                // session slots start free. Arrivals are counted when
+                // dispatched, so the chain's pending tail is never counted.
+                let gap = ol.gen.next_interarrival();
+                self.engine.schedule(SimTime::ZERO + gap, Event::Arrival);
+            } else {
+                // Stagger client starts over the first microsecond so the
+                // initial broadcast burst does not phase-lock.
+                for i in 0..self.cluster.cfg.clients {
+                    let start = SimTime::ZERO + Duration::from_nanos(u64::from(i) * 10);
+                    self.engine.schedule(start, Event::Issue(ClientId(i), 0));
+                }
             }
             // Scheduled fault-plan crashes and their rejoins.
             for c in &self.cluster.cfg.faults.crashes {
@@ -990,6 +1040,7 @@ impl Simulation {
             self.engine.run(&mut self.cluster);
             let now = self.engine.now();
             self.cluster.stats.causal_buffered.finish(now);
+            self.cluster.stats.admission_queue.finish(now);
             self.cluster.stats.measured_time = now.saturating_since(self.cluster.stats.window_start);
             self.ran = true;
         }

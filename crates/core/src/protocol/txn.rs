@@ -86,6 +86,11 @@ impl Cluster {
                         .txn_first_issue
                         .push(SimTime::MAX);
                 }
+                // Open-loop sessions anchor the transaction's first request
+                // at its arrival time (admission wait counts against it).
+                if let Some(anchor) = self.cstate[client.index()].ol_anchor.take() {
+                    self.cstate[client.index()].txn_first_issue[0] = anchor;
+                }
             }
             self.begin_txn(ctx, client, home);
             return;

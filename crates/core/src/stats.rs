@@ -75,6 +75,22 @@ pub struct RunStats {
     pub crashes: Vec<(u8, SimTime)>,
     /// Node rejoin events over the whole run: `(node, time)`.
     pub rejoins: Vec<(u8, SimTime)>,
+    /// Open-loop arrivals during the measured window (zero on closed
+    /// loops, like every `ol_` counter below).
+    pub ol_arrivals: u64,
+    /// Arrival rejections (full admission queue or crashed target node);
+    /// one arrival can be rejected several times before admission or shed.
+    pub ol_rejections: u64,
+    /// Client-side retries scheduled after rejections.
+    pub ol_retries: u64,
+    /// Arrivals shed for good after exhausting their retry budget.
+    pub ol_shed: u64,
+    /// Sessions admitted (bound to a slot) in the window.
+    pub admissions: u64,
+    /// Cumulative queue + retry-backoff wait of admitted sessions.
+    pub admission_wait: Duration,
+    /// Admission-queue depth across all nodes, over time.
+    pub admission_queue: LevelGauge,
 }
 
 impl RunStats {
@@ -111,6 +127,26 @@ impl RunStats {
         }
         self.txns_conflicted as f64 / self.txns_started as f64
     }
+
+    /// Measured offered load in arrivals per simulated second (zero on
+    /// closed loops).
+    #[must_use]
+    pub fn offered_per_sec(&self) -> f64 {
+        let secs = self.measured_time.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.ol_arrivals as f64 / secs
+    }
+
+    /// Fraction of arrivals shed (zero on closed loops).
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.ol_arrivals == 0 {
+            return 0.0;
+        }
+        self.ol_shed as f64 / self.ol_arrivals as f64
+    }
 }
 
 /// A condensed, comparable summary of one run (what the figure harnesses
@@ -137,6 +173,11 @@ pub struct RunSummary {
     pub p99_read_ns: f64,
     /// 99th-percentile write latency in ns.
     pub p99_write_ns: f64,
+    /// 99.9th-percentile read latency in ns (the SLO-grade tail the
+    /// overload sweeps watch diverge).
+    pub p999_read_ns: f64,
+    /// 99.9th-percentile write latency in ns.
+    pub p999_write_ns: f64,
     /// Bytes of network traffic per completed request.
     pub traffic_bytes_per_req: f64,
     /// Fraction of reads stalled on unpersisted writes.
@@ -167,6 +208,21 @@ pub struct RunSummary {
     pub vp_dp_lag_max_ns: f64,
     /// Per-op mean phase attribution (where the nanoseconds went).
     pub phase: PhaseBreakdown,
+    /// Measured offered load, arrivals per second (zero on closed loops,
+    /// like every open-loop field below).
+    pub offered_per_sec: f64,
+    /// Fraction of arrivals shed.
+    pub shed_rate: f64,
+    /// Client-side retries scheduled after admission rejections.
+    pub ol_retries: u64,
+    /// Arrivals shed after exhausting their retry budget.
+    pub ol_shed: u64,
+    /// Time-weighted mean admission-queue depth.
+    pub mean_admission_queue: f64,
+    /// Peak admission-queue depth.
+    pub max_admission_queue: u64,
+    /// Mean queue + retry wait of admitted sessions, in ns.
+    pub mean_admission_wait_ns: f64,
 }
 
 impl RunSummary {
@@ -185,6 +241,8 @@ impl RunSummary {
             p95_write_ns: stats.write_latency.percentile(0.95).as_nanos() as f64,
             p99_read_ns: stats.read_latency.percentile(0.99).as_nanos() as f64,
             p99_write_ns: stats.write_latency.percentile(0.99).as_nanos() as f64,
+            p999_read_ns: stats.read_latency.percentile(0.999).as_nanos() as f64,
+            p999_write_ns: stats.write_latency.percentile(0.999).as_nanos() as f64,
             // An empty run generated no traffic *and* served no requests:
             // report 0, not bytes against a phantom request.
             traffic_bytes_per_req: if completed == 0 {
@@ -209,6 +267,17 @@ impl RunSummary {
                 stats.persists_issued,
                 stats.reads_completed,
             ),
+            offered_per_sec: stats.offered_per_sec(),
+            shed_rate: stats.shed_rate(),
+            ol_retries: stats.ol_retries,
+            ol_shed: stats.ol_shed,
+            mean_admission_queue: stats.admission_queue.time_weighted_mean(),
+            max_admission_queue: stats.admission_queue.max(),
+            mean_admission_wait_ns: if stats.admissions == 0 {
+                0.0
+            } else {
+                stats.admission_wait.as_nanos() as f64 / stats.admissions as f64
+            },
         }
     }
 }
@@ -290,6 +359,47 @@ mod tests {
         assert_eq!(s.completed(), 0);
         let sum = RunSummary::from_stats(&s);
         assert_eq!(sum.traffic_bytes_per_req, 0.0);
+    }
+
+    #[test]
+    fn open_loop_fields_surface_in_summary() {
+        let mut s = RunStats {
+            ol_arrivals: 1_000,
+            ol_rejections: 120,
+            ol_retries: 100,
+            ol_shed: 20,
+            admissions: 4,
+            admission_wait: Duration::from_nanos(800),
+            measured_time: Duration::from_millis(1),
+            ..RunStats::default()
+        };
+        s.admission_queue.set(SimTime::ZERO, 5);
+        s.admission_queue.finish(SimTime::from_nanos(1_000));
+        assert!((s.offered_per_sec() - 1_000_000.0).abs() < 1e-6);
+        assert!((s.shed_rate() - 0.02).abs() < 1e-12);
+        let sum = RunSummary::from_stats(&s);
+        assert!((sum.offered_per_sec - 1_000_000.0).abs() < 1e-6);
+        assert!((sum.shed_rate - 0.02).abs() < 1e-12);
+        assert_eq!(sum.ol_retries, 100);
+        assert_eq!(sum.ol_shed, 20);
+        assert_eq!(sum.max_admission_queue, 5);
+        assert!((sum.mean_admission_wait_ns - 200.0).abs() < 1e-9);
+        // Closed-loop stats report inert zeros.
+        let closed = RunSummary::from_stats(&RunStats::default());
+        assert_eq!(closed.offered_per_sec, 0.0);
+        assert_eq!(closed.shed_rate, 0.0);
+        assert_eq!(closed.mean_admission_wait_ns, 0.0);
+    }
+
+    #[test]
+    fn p999_is_ordered_after_p99() {
+        let mut s = RunStats::default();
+        for i in 1..=1_000u64 {
+            s.read_latency.record(Duration::from_nanos(i));
+        }
+        let sum = RunSummary::from_stats(&s);
+        assert!(sum.p99_read_ns <= sum.p999_read_ns);
+        assert!(sum.p999_read_ns >= 990.0);
     }
 
     #[test]

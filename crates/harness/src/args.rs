@@ -13,14 +13,19 @@
 //! * `--trace-sample NS` — with `--trace`, also emit gauge samples every
 //!   `NS` simulated nanoseconds;
 //! * `--quick` — shrink each trial to `ClusterConfig::quick()` request
-//!   counts (smoke-test scale).
+//!   counts (smoke-test scale);
+//! * `--seeds N` — replicate every trial under `N` derived seeds and
+//!   report mean ± spread per cell (see [`crate::seeds`]);
+//! * `--load R1,R2,…` — offered-load points for open-loop sweeps
+//!   (interpretation is bin-specific: the `overload` bin reads them as
+//!   multiples of each model's measured closed-loop capacity).
 //!
 //! [`record_fields`]: crate::fields::record_fields
 
 use std::path::PathBuf;
 
 /// Parsed harness flags.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HarnessArgs {
     /// Executor worker threads (≥ 1).
     pub threads: usize,
@@ -35,6 +40,10 @@ pub struct HarnessArgs {
     pub trace_sample: Option<u64>,
     /// Shrink every trial to smoke-test request counts.
     pub quick: bool,
+    /// Seed replicas per trial (≥ 1; 1 means no replication).
+    pub seeds: u32,
+    /// Offered-load points for open-loop sweeps (empty: bin default).
+    pub load: Vec<f64>,
 }
 
 impl Default for HarnessArgs {
@@ -46,6 +55,8 @@ impl Default for HarnessArgs {
             trace: None,
             trace_sample: None,
             quick: false,
+            seeds: 1,
+            load: Vec::new(),
         }
     }
 }
@@ -98,6 +109,29 @@ impl HarnessArgs {
                         })?);
                 }
                 "--quick" => parsed.quick = true,
+                "--seeds" => {
+                    let v = it.next().ok_or("--seeds needs a value")?;
+                    parsed.seeds =
+                        v.parse::<u32>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--seeds needs a positive integer, got {v:?}")
+                        })?;
+                }
+                "--load" => {
+                    let v = it.next().ok_or("--load needs a comma-separated list")?;
+                    parsed.load = v
+                        .split(',')
+                        .map(|p| {
+                            p.trim()
+                                .parse::<f64>()
+                                .ok()
+                                .filter(|x| x.is_finite() && *x > 0.0)
+                                .ok_or_else(|| format!("--load needs positive numbers, got {p:?}"))
+                        })
+                        .collect::<Result<Vec<f64>, String>>()?;
+                    if parsed.load.is_empty() {
+                        return Err("--load needs at least one point".to_string());
+                    }
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -121,13 +155,15 @@ impl HarnessArgs {
     pub fn usage(bin: &str) -> String {
         format!(
             "usage: {bin} [--threads N] [--json PATH] [--csv PATH] [--trace PATH] \
-             [--trace-sample NS] [--quick]\n\
+             [--trace-sample NS] [--quick] [--seeds N] [--load R1,R2,...]\n\
              \x20 --threads N        executor worker threads (default: DDP_THREADS or all cores)\n\
              \x20 --json PATH        write every run record to PATH as JSON lines\n\
              \x20 --csv PATH         write every run record to PATH as CSV (same fields)\n\
              \x20 --trace PATH       enable event tracing; write event streams to PATH as JSON lines\n\
              \x20 --trace-sample NS  with --trace, emit gauge samples every NS simulated ns\n\
-             \x20 --quick            smoke-test request counts (ClusterConfig::quick)"
+             \x20 --quick            smoke-test request counts (ClusterConfig::quick)\n\
+             \x20 --seeds N          replicate each trial under N derived seeds; report mean ± spread\n\
+             \x20 --load R1,R2,...   offered-load points for open-loop sweeps (bin-specific units)"
         )
     }
 }
@@ -167,9 +203,15 @@ mod tests {
             "--trace-sample",
             "500000",
             "--quick",
+            "--seeds",
+            "5",
+            "--load",
+            "0.5,0.8, 1.1,2.5",
         ])
         .unwrap();
         assert_eq!(a.threads, 4);
+        assert_eq!(a.seeds, 5);
+        assert_eq!(a.load, vec![0.5, 0.8, 1.1, 2.5]);
         assert_eq!(
             a.json.as_deref(),
             Some(std::path::Path::new("/tmp/out.jsonl"))
@@ -192,6 +234,12 @@ mod tests {
         assert!(parse(&["--csv"]).is_err());
         assert!(parse(&["--trace"]).is_err());
         assert!(parse(&["--trace-sample", "0", "--trace", "/tmp/t.jsonl"]).is_err());
+        assert!(parse(&["--seeds", "0"]).is_err());
+        assert!(parse(&["--seeds", "three"]).is_err());
+        assert!(parse(&["--load"]).is_err());
+        assert!(parse(&["--load", ""]).is_err());
+        assert!(parse(&["--load", "1.0,-2.0"]).is_err());
+        assert!(parse(&["--load", "1.0,nope"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
     }
 
@@ -206,5 +254,7 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert!(a.threads >= 1);
         assert!(a.json.is_none() && a.csv.is_none() && a.trace.is_none() && !a.quick);
+        assert_eq!(a.seeds, 1);
+        assert!(a.load.is_empty());
     }
 }

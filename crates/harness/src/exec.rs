@@ -23,6 +23,7 @@ use crate::args::HarnessArgs;
 use crate::csv::CsvWriter;
 use crate::json::JsonLinesWriter;
 use crate::record::RunRecord;
+use crate::seeds::SeedAggregate;
 use crate::sweep::Sweep;
 use crate::trace::{trace_end_to_json, trace_event_to_json};
 
@@ -225,6 +226,27 @@ impl Harness {
                 .expect("writing --csv records");
         }
         records
+    }
+
+    /// Runs one sweep under `--seeds N` replication: every trial runs once
+    /// per derived seed (replica 0 unchanged, so `--seeds 1` is exactly
+    /// [`Harness::run`]), all `cells × N` records flow to the
+    /// `--json`/`--csv` streams, and one `seed_aggregate` JSON line per
+    /// original cell (mean, stddev, min, max of the headline metrics)
+    /// follows the records. Returns the flat seed-major records plus the
+    /// per-cell aggregates.
+    pub fn run_seeded(&mut self, sweep: Sweep) -> (Vec<RunRecord>, Vec<SeedAggregate>) {
+        let seeds = self.args.seeds.max(1);
+        let cells = sweep.len();
+        let records = self.run(crate::seeds::replicate(&sweep, seeds));
+        let aggregates = crate::seeds::aggregate_records(&records, cells, seeds);
+        if self.writer.is_some() {
+            for a in &aggregates {
+                let line = crate::seeds::aggregate_to_json(a);
+                self.emit_json_line(&line);
+            }
+        }
+        (records, aggregates)
     }
 
     /// Writes one extra pre-serialized JSON line (for derived, non-sweep

@@ -39,6 +39,8 @@ pub fn record_fields(r: &RunRecord) -> Vec<(&'static str, FieldValue<'_>)> {
         ("mean_access_ns", F64(s.mean_access_ns)),
         ("p95_read_ns", F64(s.p95_read_ns)),
         ("p95_write_ns", F64(s.p95_write_ns)),
+        ("p999_read_ns", F64(s.p999_read_ns)),
+        ("p999_write_ns", F64(s.p999_write_ns)),
         ("traffic_bytes_per_req", F64(s.traffic_bytes_per_req)),
         (
             "read_persist_conflict_rate",
@@ -61,6 +63,16 @@ pub fn record_fields(r: &RunRecord) -> Vec<(&'static str, FieldValue<'_>)> {
         ("rejoins", Pairs(&c.rejoins)),
         ("window_start_ns", U64(c.window_start_ns)),
         ("measured_ns", U64(c.measured_ns)),
+        ("offered_per_sec", F64(s.offered_per_sec)),
+        ("shed_rate", F64(s.shed_rate)),
+        ("ol_arrivals", U64(c.ol_arrivals)),
+        ("ol_rejections", U64(c.ol_rejections)),
+        ("ol_retries", U64(s.ol_retries)),
+        ("ol_shed", U64(s.ol_shed)),
+        ("admissions", U64(c.admissions)),
+        ("mean_admission_queue", F64(s.mean_admission_queue)),
+        ("max_admission_queue", U64(s.max_admission_queue)),
+        ("mean_admission_wait_ns", F64(s.mean_admission_wait_ns)),
     ]
 }
 

@@ -46,6 +46,7 @@ pub mod exec;
 pub mod fields;
 pub mod json;
 pub mod record;
+pub mod seeds;
 pub mod sweep;
 pub mod table;
 pub mod trace;
@@ -56,6 +57,10 @@ pub use exec::{run_sweep, run_sweep_named, run_sweep_traced, Harness};
 pub use fields::{record_fields, FieldValue};
 pub use json::{escape_json, json_f64, record_to_json, unescape_json, JsonLinesWriter, JsonObject};
 pub use record::{RunCounters, RunRecord};
+pub use seeds::{
+    aggregate_records, aggregate_to_json, replicate, reseed, run_sweep_seeded, SeedAggregate,
+    SeedStat,
+};
 pub use sweep::{ModelGrid, Sweep, Trial};
 pub use table::{bar, normalized, print_row, print_rule, ratio};
 pub use trace::{trace_end_to_json, trace_event_to_json};

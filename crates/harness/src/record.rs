@@ -37,6 +37,12 @@ pub struct RunCounters {
     pub window_start_ns: u64,
     /// Simulated ns the measured window covered.
     pub measured_ns: u64,
+    /// Open-loop arrivals dispatched inside the measured window.
+    pub ol_arrivals: u64,
+    /// Open-loop admission rejections (full queue / down node) in window.
+    pub ol_rejections: u64,
+    /// Arrivals admitted to a session slot inside the measured window.
+    pub admissions: u64,
 }
 
 impl RunCounters {
@@ -66,6 +72,9 @@ impl RunCounters {
                 .collect(),
             window_start_ns: stats.window_start.as_nanos(),
             measured_ns: stats.measured_time.as_nanos(),
+            ol_arrivals: stats.ol_arrivals,
+            ol_rejections: stats.ol_rejections,
+            admissions: stats.admissions,
         }
     }
 

@@ -68,6 +68,12 @@ pub fn trace_event_to_json(trial: usize, r: &TraceRecord) -> String {
             o.u64("nvm_inflight", r.c);
             o.u64("retransmits", r.d);
         }
+        TraceEventKind::AdmissionSample => {
+            o.u64("queued_arrivals", r.a);
+            o.u64("shed_total", r.b);
+            o.u64("retries", r.c);
+            o.u64("rejections", r.d);
+        }
     }
     o.finish()
 }
@@ -122,6 +128,14 @@ mod tests {
         assert!(
             sample.contains("\"inflight_ops\":42") && sample.contains("\"retransmits\":1"),
             "{sample}"
+        );
+
+        let adm = trace_event_to_json(3, &rec(TraceEventKind::AdmissionSample));
+        assert!(
+            adm.contains("\"kind\":\"admission_sample\"")
+                && adm.contains("\"queued_arrivals\":42")
+                && adm.contains("\"rejections\":1"),
+            "{adm}"
         );
     }
 

@@ -45,6 +45,11 @@ pub enum TraceEventKind {
     /// `b`=buffered causal writes, `c`=NVM persists in flight,
     /// `d`=cumulative retransmits).
     Sample = 11,
+    /// A fixed-interval admission sample, emitted only on open-loop runs
+    /// (`a`=queued arrivals across all nodes, `b`=arrivals shed so far,
+    /// `c`=retries scheduled in the measured window, `d`=rejections in
+    /// the measured window).
+    AdmissionSample = 12,
 }
 
 impl TraceEventKind {
@@ -64,6 +69,7 @@ impl TraceEventKind {
             TraceEventKind::StallBegin => "stall_begin",
             TraceEventKind::StallEnd => "stall_end",
             TraceEventKind::Sample => "sample",
+            TraceEventKind::AdmissionSample => "admission_sample",
         }
     }
 }
@@ -159,6 +165,7 @@ mod tests {
             TraceEventKind::StallBegin,
             TraceEventKind::StallEnd,
             TraceEventKind::Sample,
+            TraceEventKind::AdmissionSample,
         ];
         let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         names.sort_unstable();

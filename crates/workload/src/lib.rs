@@ -10,14 +10,20 @@
 //! (the YCSB algorithm), [`WorkloadSpec`] presets, endless deterministic
 //! [`RequestStream`]s, and a [`ClientPool`] that spreads closed-loop
 //! clients across the cluster.
+//!
+//! Beyond the paper, [`ArrivalProcess`] / [`ArrivalGen`] provide open-loop
+//! arrival timing (Poisson and bursty MMPP) for overload studies, where
+//! offered load is an arrival rate rather than a client count.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arrival;
 mod client;
 mod ycsb;
 mod zipf;
 
+pub use arrival::{ArrivalGen, ArrivalProcess};
 pub use client::{Client, ClientId, ClientPool};
 pub use ycsb::{
     OpKind, Request, RequestStream, WorkloadSpec, DEFAULT_KEY_SPACE, DEFAULT_VALUE_BYTES,
