@@ -92,11 +92,7 @@ impl HistoryChecker {
             if r.version < *entry {
                 outcome.record(format!(
                     "client {} key {}: read v{} at {} after reading v{}",
-                    r.client,
-                    r.key,
-                    r.version,
-                    r.completed_at,
-                    *entry
+                    r.client, r.key, r.version, r.completed_at, *entry
                 ));
             }
             *entry = (*entry).max(r.version);

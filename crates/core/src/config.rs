@@ -118,10 +118,15 @@ impl FaultPlan {
         }
         for c in &self.crashes {
             if c.node >= nodes {
-                return Err(format!("crash event names node {} but cluster has {nodes}", c.node));
+                return Err(format!(
+                    "crash event names node {} but cluster has {nodes}",
+                    c.node
+                ));
             }
             if c.down_for == Duration::ZERO {
-                return Err("crash down_for must be positive (permanent crashes unsupported)".into());
+                return Err(
+                    "crash down_for must be positive (permanent crashes unsupported)".into(),
+                );
             }
         }
         if self.active() {
@@ -216,7 +221,10 @@ impl OpenLoopPlan {
     /// times the quiet rate, with `mean_dwell` average time in each phase.
     #[must_use]
     pub fn with_burst(mut self, high_ratio: f64, mean_dwell: Duration) -> Self {
-        self.burst = Some(BurstProfile { high_ratio, mean_dwell });
+        self.burst = Some(BurstProfile {
+            high_ratio,
+            mean_dwell,
+        });
         self
     }
 
@@ -252,11 +260,16 @@ impl OpenLoopPlan {
         self.arrival_process().validate()?;
         if let Some(b) = self.burst {
             if !(b.high_ratio.is_finite() && b.high_ratio >= 1.0) {
-                return Err(format!("burst high_ratio must be >= 1, got {}", b.high_ratio));
+                return Err(format!(
+                    "burst high_ratio must be >= 1, got {}",
+                    b.high_ratio
+                ));
             }
         }
         if self.queue_capacity == Some(0) {
-            return Err("queue_capacity 0 would reject every queued arrival; use Some(n>0) or None".into());
+            return Err(
+                "queue_capacity 0 would reject every queued arrival; use Some(n>0) or None".into(),
+            );
         }
         if self.max_retries > 0 && self.retry_backoff == Duration::ZERO {
             return Err("retry_backoff must be positive when retries are enabled".into());
@@ -472,6 +485,9 @@ impl ClusterConfig {
         if self.clients == 0 {
             return Err("need at least one client".into());
         }
+        if self.workload.key_space == 0 {
+            return Err("workload key_space must be positive".into());
+        }
         if self.txn_size == 0 {
             return Err("transaction size must be positive".into());
         }
@@ -484,7 +500,9 @@ impl ClusterConfig {
         if let Some(ol) = &self.open_loop {
             ol.validate().map_err(|e| format!("open_loop: {e}"))?;
             if self.clients < u32::from(self.nodes) {
-                return Err("open_loop needs a session slot on every node (clients >= nodes)".into());
+                return Err(
+                    "open_loop needs a session slot on every node (clients >= nodes)".into(),
+                );
             }
         }
         self.faults.validate(self.nodes)?;
@@ -549,8 +567,8 @@ mod tests {
             .with_trace(TraceConfig::enabled().with_sample_interval(Duration::from_micros(1)));
         assert!(traced.validate().is_ok());
 
-        let mut bad = ClusterConfig::micro21(DdpModel::baseline())
-            .with_trace(TraceConfig::enabled());
+        let mut bad =
+            ClusterConfig::micro21(DdpModel::baseline()).with_trace(TraceConfig::enabled());
         bad.trace.ring_capacity = 0;
         assert!(bad.validate().is_err());
 
@@ -619,12 +637,18 @@ mod tests {
         let bad_prob = ClusterConfig::micro21(DdpModel::baseline()).with_loss(1.5);
         assert!(bad_prob.validate().is_err());
 
-        let bad_node =
-            ClusterConfig::micro21(DdpModel::baseline()).with_crash(9, Duration::from_micros(1), Duration::from_micros(1));
+        let bad_node = ClusterConfig::micro21(DdpModel::baseline()).with_crash(
+            9,
+            Duration::from_micros(1),
+            Duration::from_micros(1),
+        );
         assert!(bad_node.validate().is_err());
 
-        let permanent =
-            ClusterConfig::micro21(DdpModel::baseline()).with_crash(0, Duration::from_micros(1), Duration::ZERO);
+        let permanent = ClusterConfig::micro21(DdpModel::baseline()).with_crash(
+            0,
+            Duration::from_micros(1),
+            Duration::ZERO,
+        );
         assert!(permanent.validate().is_err());
 
         let mut bad_timeout = ClusterConfig::micro21(DdpModel::baseline()).with_loss(0.1);

@@ -81,7 +81,11 @@ impl ClusterSnapshot {
     /// The highest version of `key` that was persisted *anywhere*.
     #[must_use]
     pub fn max_persisted(&self, key: Key) -> u64 {
-        self.nvm.iter().map(|img| img.version_of(key)).max().unwrap_or(0)
+        self.nvm
+            .iter()
+            .map(|img| img.version_of(key))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The highest version of `key` that was visible anywhere (including

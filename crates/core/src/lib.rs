@@ -38,6 +38,7 @@
 //! * [`protocol`] — the parametric coordinator/follower engine and the
 //!   [`Simulation`] driver;
 //! * [`traits_table`] — the qualitative Table 4 derivation;
+//! * [`fleet`] — a sharded fleet of replica groups on one event loop;
 //! * [`failure`] — crash injection and NVM snapshots;
 //! * [`recovery`] — the recovery algorithms (simple and voting-based);
 //! * [`recovery_time`] — first-order recovery-duration estimates (§9);
@@ -53,6 +54,7 @@ pub mod cauhist;
 pub mod checker;
 pub mod config;
 pub mod failure;
+pub mod fleet;
 pub mod message;
 pub mod model;
 pub mod protocol;
@@ -66,6 +68,10 @@ pub use cauhist::VectorClock;
 pub use checker::{CheckOutcome, HistoryChecker};
 pub use config::{BurstProfile, ClusterConfig, CrashEvent, FaultPlan, OpenLoopPlan};
 pub use failure::{crash_snapshot, ClusterSnapshot, NodeImage};
+pub use fleet::{
+    run_fleet, shard_seed, Fleet, FleetConfig, FleetEvent, FleetReport, FleetSimulation,
+    SHARD_SEED_STRIDE,
+};
 pub use message::{Message, ScopeId, TxnId, WriteId};
 pub use model::{Consistency, DdpModel, Persistency};
 pub use protocol::{
@@ -77,6 +83,10 @@ pub use recovery_time::{estimate_recovery, RecoveryEstimate};
 pub use replica::{KeyState, ReplicaStore};
 pub use stats::{RunStats, RunSummary};
 pub use traits_table::{Level, ModelTraits};
+
+// Re-exported so harnesses and tests can route sharded fleets without
+// depending on `ddp-workload` directly.
+pub use ddp_workload::{Placement, ShardRouter, ShardSlice};
 
 // Re-exported so harnesses and tests can configure and consume tracing
 // without depending on `ddp-trace` directly.

@@ -16,7 +16,11 @@ use super::{ClientPhase, Cluster, Event, ObservationLog, ReadObservation, WriteO
 impl Cluster {
     /// The node that coordinates a client's requests.
     pub(crate) fn home_of(&self, client: ClientId) -> NodeId {
-        let home = self.clients.clients().nth(client.index()).map(|c| c.home_node());
+        let home = self
+            .clients
+            .clients()
+            .nth(client.index())
+            .map(|c| c.home_node());
         debug_assert!(
             home.is_some(),
             "home_of: {client} is not in this cluster's pool"
@@ -40,7 +44,10 @@ impl Cluster {
                 ctx.schedule_in(self.cfg.faults.op_timeout, Event::Issue(client, token));
                 return;
             }
-            ctx.schedule_in(self.cfg.faults.op_timeout, Event::OpTimeout { client, token });
+            ctx.schedule_in(
+                self.cfg.faults.op_timeout,
+                Event::OpTimeout { client, token },
+            );
         }
         // Scope persistency: after `scope_size` requests, the client issues a
         // Persist call for the scope before continuing (paper §7: scopes are
@@ -233,8 +240,12 @@ impl Cluster {
             ..RunStats::default()
         };
         // Carry the gauges' current levels across the reset.
-        fresh.causal_buffered.set(now, self.stats.causal_buffered.current());
-        fresh.admission_queue.set(now, self.stats.admission_queue.current());
+        fresh
+            .causal_buffered
+            .set(now, self.stats.causal_buffered.current());
+        fresh
+            .admission_queue
+            .set(now, self.stats.admission_queue.current());
         // The fault trace describes the whole run, not the window.
         fresh.crashes = std::mem::take(&mut self.stats.crashes);
         fresh.rejoins = std::mem::take(&mut self.stats.rejoins);

@@ -46,11 +46,23 @@ impl Cluster {
             Message::Ack { write, from } => self.on_ack(ctx, node, write, from, false, true),
             Message::AckC { write, from } => self.on_ack(ctx, node, write, from, false, false),
             Message::AckP { write, from } => self.on_ack(ctx, node, write, from, true, false),
-            Message::Val { write, key, version } => self.on_val(ctx, node, write, key, version, true, true),
-            Message::ValC { write, key, version } => {
+            Message::Val {
+                write,
+                key,
+                version,
+            } => self.on_val(ctx, node, write, key, version, true, true),
+            Message::ValC {
+                write,
+                key,
+                version,
+            } => {
                 self.on_val(ctx, node, write, key, version, true, false);
             }
-            Message::ValP { write, key, version } => {
+            Message::ValP {
+                write,
+                key,
+                version,
+            } => {
                 self.on_val(ctx, node, write, key, version, true, true);
             }
             Message::InitX { txn } => self.on_initx(ctx, node, txn),
@@ -203,7 +215,13 @@ impl Cluster {
         match self.pers {
             Persistency::Strict => {
                 if durable {
-                    self.send(ctx, node, coord, Message::Ack { write, from: node }, ddp_net::RdmaKind::Send);
+                    self.send(
+                        ctx,
+                        node,
+                        coord,
+                        Message::Ack { write, from: node },
+                        ddp_net::RdmaKind::Send,
+                    );
                 }
             }
             Persistency::Synchronous => {
@@ -211,13 +229,25 @@ impl Cluster {
                     // Transactional+Synchronous acks on volatile apply.
                     self.send_ack_c(ctx, node, coord, write);
                 } else if durable {
-                    self.send(ctx, node, coord, Message::Ack { write, from: node }, ddp_net::RdmaKind::Send);
+                    self.send(
+                        ctx,
+                        node,
+                        coord,
+                        Message::Ack { write, from: node },
+                        ddp_net::RdmaKind::Send,
+                    );
                 }
             }
             Persistency::ReadEnforced => {
                 self.send_ack_c(ctx, node, coord, write);
                 if durable {
-                    self.send(ctx, node, coord, Message::AckP { write, from: node }, ddp_net::RdmaKind::Send);
+                    self.send(
+                        ctx,
+                        node,
+                        coord,
+                        Message::AckP { write, from: node },
+                        ddp_net::RdmaKind::Send,
+                    );
                 }
             }
             Persistency::Scope | Persistency::Eventual => {
@@ -226,7 +256,13 @@ impl Cluster {
         }
     }
 
-    fn send_ack_c(&mut self, ctx: &mut Context<'_, Event>, from: NodeId, to: NodeId, write: WriteId) {
+    fn send_ack_c(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        from: NodeId,
+        to: NodeId,
+        write: WriteId,
+    ) {
         self.send(
             ctx,
             from,
@@ -279,14 +315,24 @@ impl Cluster {
             let prev = n.applied_vc.get(origin.index());
             n.applied_vc.set(origin.index(), prev.max(cs));
         }
-        self.trace(ctx, TraceEventKind::ReplicaApply, node.0, upd.key, upd.version, 0);
+        self.trace(
+            ctx,
+            TraceEventKind::ReplicaApply,
+            node.0,
+            upd.key,
+            upd.version,
+            0,
+        );
 
         // Durability per the persistency model.
         match self.pers {
             Persistency::Synchronous | Persistency::Strict => {
                 let purpose = if upd.persist_on_arrival {
                     // Strict: the coordinator waits for this persist.
-                    PersistPurpose::FollowerInv { write: upd.write, txn: None }
+                    PersistPurpose::FollowerInv {
+                        write: upd.write,
+                        txn: None,
+                    }
                 } else {
                     PersistPurpose::CausalApply { origin }
                 };
@@ -406,7 +452,11 @@ impl Cluster {
             // Per-follower bitmask: duplicated (fabric or retransmission)
             // acknowledgments count once.
             let bit = Self::follower_bit(from);
-            let mask = if is_p { &mut pw.acked_p } else { &mut pw.acked_c };
+            let mask = if is_p {
+                &mut pw.acked_p
+            } else {
+                &mut pw.acked_c
+            };
             if *mask & bit != 0 {
                 if self.measuring {
                     self.stats.duplicates_suppressed += 1;

@@ -75,7 +75,12 @@ impl Cluster {
     /// The liveness net of last resort: the client made no progress since
     /// the token was taken. Abandon everything it has in flight and
     /// re-issue.
-    pub(crate) fn on_op_timeout(&mut self, ctx: &mut Context<'_, Event>, client: ClientId, token: u64) {
+    pub(crate) fn on_op_timeout(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        client: ClientId,
+        token: u64,
+    ) {
         if !self.faults_active || self.cstate[client.index()].op_token != token {
             return;
         }
@@ -145,7 +150,10 @@ impl Cluster {
             cr.op_token = cr.op_token.wrapping_add(1);
             cr.op_token
         };
-        ctx.schedule_in(self.cfg.faults.ack_timeout, Event::Issue(client, next_token));
+        ctx.schedule_in(
+            self.cfg.faults.ack_timeout,
+            Event::Issue(client, next_token),
+        );
     }
 
     // ------------------------------------------------------------------
@@ -255,7 +263,14 @@ impl Cluster {
             return;
         }
         let wait = self.cfg.faults.ack_timeout * (1u64 << (attempt - 1));
-        ctx.schedule_in(wait, Event::WriteRetry { node: home, seq, attempt });
+        ctx.schedule_in(
+            wait,
+            Event::WriteRetry {
+                node: home,
+                seq,
+                attempt,
+            },
+        );
     }
 
     /// Coordinator ACK timeout for an INITX/ENDX round.
@@ -328,7 +343,13 @@ impl Cluster {
             if self.measuring {
                 self.stats.retransmits += 1;
             }
-            self.send(ctx, home, to, Message::Persist { scope }, RdmaKind::RemoteFlush);
+            self.send(
+                ctx,
+                home,
+                to,
+                Message::Persist { scope },
+                RdmaKind::RemoteFlush,
+            );
         }
         let wait = self.cfg.faults.ack_timeout * (1u64 << attempt.min(16));
         ctx.schedule_in(
@@ -608,7 +629,12 @@ impl Cluster {
                     seen.versions.insert(key, st.visible);
                     let entry = targets.entry(key).or_insert((0, 0, 0, 0));
                     if st.visible > entry.0 {
-                        *entry = (st.visible, st.value_bytes, st.visible_origin, st.visible_seq);
+                        *entry = (
+                            st.visible,
+                            st.value_bytes,
+                            st.visible_origin,
+                            st.visible_seq,
+                        );
                     }
                 }
             });

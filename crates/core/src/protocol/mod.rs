@@ -160,10 +160,7 @@ pub enum PersistPurpose {
     /// Coordinator-local persist of its own write (by coordinator seq).
     WriteLocal { seq: u64 },
     /// Follower persist of an INV-delivered update.
-    FollowerInv {
-        write: WriteId,
-        txn: Option<TxnId>,
-    },
+    FollowerInv { write: WriteId, txn: Option<TxnId> },
     /// Persist of a causally-delivered UPD (chained per origin).
     CausalApply { origin: NodeId },
     /// One element of a scope flush.
@@ -573,7 +570,9 @@ impl Cluster {
     pub(crate) fn new(cfg: ClusterConfig) -> Self {
         cfg.validate().expect("invalid cluster configuration");
         let clients = ClientPool::new(&cfg.workload, cfg.clients, cfg.nodes, cfg.seed);
-        let nodes = (0..cfg.nodes).map(|i| NodeState::new(NodeId(i), &cfg)).collect();
+        let nodes = (0..cfg.nodes)
+            .map(|i| NodeState::new(NodeId(i), &cfg))
+            .collect();
         let cstate = (0..cfg.clients).map(|_| ClientRun::new()).collect();
         let mut fabric = Fabric::new(cfg.nodes as usize, cfg.network);
         if cfg.faults.lossy() {
@@ -687,7 +686,10 @@ impl Cluster {
         msg: &Message,
         kind: RdmaKind,
     ) {
-        let targets: Vec<NodeId> = (0..self.cfg.nodes).map(NodeId).filter(|&n| n != from).collect();
+        let targets: Vec<NodeId> = (0..self.cfg.nodes)
+            .map(NodeId)
+            .filter(|&n| n != from)
+            .collect();
         for to in targets {
             self.send(ctx, from, to, msg.clone(), kind);
         }
@@ -896,7 +898,11 @@ impl Model for Cluster {
         match event {
             Event::Issue(client, token) => self.on_issue(ctx, client, token),
             Event::Arrival => self.on_arrival(ctx),
-            Event::ArrivalRetry { node, anchor, attempt } => {
+            Event::ArrivalRetry {
+                node,
+                anchor,
+                attempt,
+            } => {
                 self.on_arrival_retry(ctx, node, anchor, attempt);
             }
             Event::Deliver(node, msg) => {
@@ -950,11 +956,17 @@ impl Model for Cluster {
                 self.on_exec_op(ctx, client, request, issued_at, txn, scope)
             }
             Event::OpTimeout { client, token } => self.on_op_timeout(ctx, client, token),
-            Event::WriteRetry { node, seq, attempt } => self.on_write_retry(ctx, node, seq, attempt),
+            Event::WriteRetry { node, seq, attempt } => {
+                self.on_write_retry(ctx, node, seq, attempt)
+            }
             Event::TxnRoundRetry { node, seq, attempt } => {
                 self.on_txn_round_retry(ctx, node, seq, attempt);
             }
-            Event::ScopeRetry { node, scope, attempt } => {
+            Event::ScopeRetry {
+                node,
+                scope,
+                attempt,
+            } => {
                 self.on_scope_retry(ctx, node, scope, attempt);
             }
             Event::TransientExpire {
@@ -1035,13 +1047,15 @@ impl Simulation {
             for c in &self.cluster.cfg.faults.crashes {
                 let down = SimTime::ZERO + c.at;
                 self.engine.schedule(down, Event::NodeCrash(NodeId(c.node)));
-                self.engine.schedule(down + c.down_for, Event::NodeRecover(NodeId(c.node)));
+                self.engine
+                    .schedule(down + c.down_for, Event::NodeRecover(NodeId(c.node)));
             }
             self.engine.run(&mut self.cluster);
             let now = self.engine.now();
             self.cluster.stats.causal_buffered.finish(now);
             self.cluster.stats.admission_queue.finish(now);
-            self.cluster.stats.measured_time = now.saturating_since(self.cluster.stats.window_start);
+            self.cluster.stats.measured_time =
+                now.saturating_since(self.cluster.stats.window_start);
             self.ran = true;
         }
         RunReport {

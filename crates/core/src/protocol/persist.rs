@@ -106,7 +106,12 @@ impl Cluster {
 
     /// Completes chain bookkeeping for persists issued via the per-origin
     /// causal chains, then starts the next chained persist if any.
-    fn finish_chained_persist(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, pctx: PersistCtx) {
+    fn finish_chained_persist(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        pctx: PersistCtx,
+    ) {
         let origin = match pctx.purpose {
             PersistPurpose::CausalApply { origin } => Some(origin),
             // Coordinator-local causal persists chain on the node's own slot.

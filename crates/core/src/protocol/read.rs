@@ -113,17 +113,17 @@ impl Cluster {
         key: Key,
         issued_at: SimTime,
     ) {
-        let lat = self.nodes[node.index()].mem.volatile_access(Self::addr(key));
+        let lat = self.nodes[node.index()]
+            .mem
+            .volatile_access(Self::addr(key));
         let t_done = ctx.now() + lat;
         let st = self.nodes[node.index()].store.state(key);
 
         // Synchronous persistency under Causal/Eventual consistency returns
         // the latest *persisted* version, so that what was read is always
         // recoverable (paper §5.2 (f) and (h)).
-        let returns_persisted = matches!(
-            self.cons,
-            Consistency::Causal | Consistency::Eventual
-        ) && self.pers == Persistency::Synchronous;
+        let returns_persisted = matches!(self.cons, Consistency::Causal | Consistency::Eventual)
+            && self.pers == Persistency::Synchronous;
         let version = if returns_persisted {
             st.local_persisted.min(st.visible)
         } else {
@@ -141,8 +141,8 @@ impl Cluster {
             }
         }
 
-        let in_txn = self.cons == Consistency::Transactional
-            && self.cstate[client.index()].txn.is_some();
+        let in_txn =
+            self.cons == Consistency::Transactional && self.cstate[client.index()].txn.is_some();
         if in_txn {
             self.txn_note_complete(ctx, client, true, t_done, key, version);
         } else {
@@ -165,7 +165,11 @@ impl Cluster {
                 if self.measuring {
                     let zero = Duration::ZERO;
                     self.stats.phase.record_read_stall(
-                        if waiter.blocked_consistency { stall } else { zero },
+                        if waiter.blocked_consistency {
+                            stall
+                        } else {
+                            zero
+                        },
                         if waiter.blocked_persist { stall } else { zero },
                     );
                 }

@@ -37,11 +37,20 @@ impl Cluster {
                 local_started: false,
             },
         );
-        self.broadcast(ctx, home, &Message::Persist { scope }, RdmaKind::RemoteFlush);
+        self.broadcast(
+            ctx,
+            home,
+            &Message::Persist { scope },
+            RdmaKind::RemoteFlush,
+        );
         if self.faults_active {
             ctx.schedule_in(
                 self.cfg.faults.ack_timeout,
-                Event::ScopeRetry { node: home, scope, attempt: 1 },
+                Event::ScopeRetry {
+                    node: home,
+                    scope,
+                    attempt: 1,
+                },
             );
         }
         self.flush_scope_local(ctx, home, scope);
@@ -80,7 +89,12 @@ impl Cluster {
     }
 
     /// `[PERSIST]s` at a follower: flush all buffered writes of the scope.
-    pub(crate) fn on_persist_msg(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, scope: ScopeId) {
+    pub(crate) fn on_persist_msg(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        scope: ScopeId,
+    ) {
         // A retransmitted PERSIST while the flush is already running must
         // not restart it (that would lose the outstanding count and
         // acknowledge before durability).
@@ -126,7 +140,12 @@ impl Cluster {
     }
 
     /// One scope-flush persist completed.
-    pub(crate) fn scope_flush_done(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, scope: ScopeId) {
+    pub(crate) fn scope_flush_done(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        scope: ScopeId,
+    ) {
         if node == scope.node {
             // Coordinator-local flush element.
             if let Some(round) = self.nodes[node.index()].scope_rounds.get_mut(&scope) {
@@ -183,14 +202,22 @@ impl Cluster {
     }
 
     /// Completes the Persist call once every replica persisted the scope.
-    pub(super) fn try_complete_scope(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, scope: ScopeId) {
+    pub(super) fn try_complete_scope(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        scope: ScopeId,
+    ) {
         let Some(round) = self.nodes[node.index()].scope_rounds.get(&scope) else {
             return;
         };
         if round.acks < round.needed || !round.local_started || round.local_outstanding > 0 {
             return;
         }
-        let round = self.nodes[node.index()].scope_rounds.remove(&scope).expect("checked");
+        let round = self.nodes[node.index()]
+            .scope_rounds
+            .remove(&scope)
+            .expect("checked");
         self.broadcast(ctx, node, &Message::ValScope { scope }, RdmaKind::Send);
         // The Persist call returns; the client resumes its request stream.
         self.schedule_next_issue(ctx, round.client, ctx.now());
@@ -198,5 +225,11 @@ impl Cluster {
 
     /// `[VAL_p]s` at a follower: nothing to unblock (reads never wait on
     /// scope durability), so this is bookkeeping only.
-    pub(crate) fn on_val_scope(&mut self, _ctx: &mut Context<'_, Event>, _node: NodeId, _scope: ScopeId) {}
+    pub(crate) fn on_val_scope(
+        &mut self,
+        _ctx: &mut Context<'_, Event>,
+        _node: NodeId,
+        _scope: ScopeId,
+    ) {
+    }
 }

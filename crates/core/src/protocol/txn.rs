@@ -172,8 +172,7 @@ impl Cluster {
             let sets = &self.active_txns[id];
             let their_age = (sets.started_ns, sets.client);
             let victim_cr = &self.cstate[sets.client as usize];
-            let committing =
-                victim_cr.txn_index >= victim_cr.txn_requests.len().max(1);
+            let committing = victim_cr.txn_index >= victim_cr.txn_requests.len().max(1);
             if their_age < my_age || committing {
                 return ConflictOutcome::Wait;
             }
@@ -245,7 +244,11 @@ impl Cluster {
         if self.faults_active {
             ctx.schedule_in(
                 self.cfg.faults.ack_timeout,
-                Event::TxnRoundRetry { node: home, seq: txn.seq, attempt: 1 },
+                Event::TxnRoundRetry {
+                    node: home,
+                    seq: txn.seq,
+                    attempt: 1,
+                },
             );
         }
         if needs_log_persist {
@@ -324,7 +327,11 @@ impl Cluster {
         if self.faults_active {
             ctx.schedule_in(
                 self.cfg.faults.ack_timeout,
-                Event::TxnRoundRetry { node: home, seq: txn.seq, attempt: 1 },
+                Event::TxnRoundRetry {
+                    node: home,
+                    seq: txn.seq,
+                    attempt: 1,
+                },
             );
         }
         self.try_complete_txn_round(ctx, home, txn.seq);
@@ -334,9 +341,7 @@ impl Cluster {
     pub(crate) fn on_initx(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, txn: TxnId) {
         // A retransmitted INITX re-runs the (idempotent) log persist and
         // re-acknowledges; only the statistics note the duplicate.
-        if self.faults_active
-            && self.nodes[node.index()].txns.contains_key(&txn)
-            && self.measuring
+        if self.faults_active && self.nodes[node.index()].txns.contains_key(&txn) && self.measuring
         {
             self.stats.duplicates_suppressed += 1;
         }
@@ -404,10 +409,22 @@ impl Cluster {
             }
             Persistency::Synchronous => {
                 // ACK after the volatile apply; persists wait for ENDX.
-                self.send(ctx, node, coord, Message::AckC { write, from: node }, RdmaKind::Send);
+                self.send(
+                    ctx,
+                    node,
+                    coord,
+                    Message::AckC { write, from: node },
+                    RdmaKind::Send,
+                );
             }
             Persistency::ReadEnforced => {
-                self.send(ctx, node, coord, Message::AckC { write, from: node }, RdmaKind::Send);
+                self.send(
+                    ctx,
+                    node,
+                    coord,
+                    Message::AckC { write, from: node },
+                    RdmaKind::Send,
+                );
                 self.issue_persist(
                     ctx,
                     node,
@@ -424,14 +441,26 @@ impl Cluster {
                 );
             }
             Persistency::Scope => {
-                self.send(ctx, node, coord, Message::AckC { write, from: node }, RdmaKind::Send);
+                self.send(
+                    ctx,
+                    node,
+                    coord,
+                    Message::AckC { write, from: node },
+                    RdmaKind::Send,
+                );
                 // Scope membership was recorded by the INV handler's caller
                 // only for non-txn writes; record it here from the write's
                 // scope tag if present. Scoped transactional writes flush at
                 // the scope's PERSIST.
             }
             Persistency::Eventual => {
-                self.send(ctx, node, coord, Message::AckC { write, from: node }, RdmaKind::Send);
+                self.send(
+                    ctx,
+                    node,
+                    coord,
+                    Message::AckC { write, from: node },
+                    RdmaKind::Send,
+                );
                 self.lazy_pending += 1;
                 self.update_buffer_gauge(ctx.now());
                 let fire = ctx.now() + self.cfg.lazy_persist_delay;
@@ -453,7 +482,13 @@ impl Cluster {
     }
 
     /// ENDX at a follower.
-    pub(crate) fn on_endx(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, txn: TxnId, writes: u32) {
+    pub(crate) fn on_endx(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        txn: TxnId,
+        writes: u32,
+    ) {
         self.nodes[node.index()]
             .txns
             .entry(txn)
@@ -464,7 +499,12 @@ impl Cluster {
 
     /// Acknowledges the transaction end once all its writes are applied and
     /// (per the persistency model) durable at this follower.
-    pub(crate) fn check_endx_ready(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, txn: TxnId) {
+    pub(crate) fn check_endx_ready(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        txn: TxnId,
+    ) {
         let Some(ft) = self.nodes[node.index()].txns.get(&txn) else {
             return;
         };
@@ -589,10 +629,16 @@ impl Cluster {
     }
 
     /// Completion of one ENDX bulk persist element.
-    pub(crate) fn txn_end_persist_done(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, txn: TxnId) {
+    pub(crate) fn txn_end_persist_done(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        txn: TxnId,
+    ) {
         if node == txn.coordinator {
             if let Some(round) = self.nodes[node.index()].txn_rounds.get_mut(&txn.seq) {
-                round.local_persists_outstanding = round.local_persists_outstanding.saturating_sub(1);
+                round.local_persists_outstanding =
+                    round.local_persists_outstanding.saturating_sub(1);
             }
             self.try_complete_txn_round(ctx, node, txn.seq);
         } else {
@@ -606,7 +652,12 @@ impl Cluster {
     }
 
     /// Checks an INITX/ENDX round for completion.
-    pub(super) fn try_complete_txn_round(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, seq: u64) {
+    pub(super) fn try_complete_txn_round(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        seq: u64,
+    ) {
         let Some(round) = self.nodes[node.index()].txn_rounds.get(&seq) else {
             return;
         };
@@ -616,7 +667,10 @@ impl Cluster {
         {
             return;
         }
-        let round = self.nodes[node.index()].txn_rounds.remove(&seq).expect("checked");
+        let round = self.nodes[node.index()]
+            .txn_rounds
+            .remove(&seq)
+            .expect("checked");
         let client = round.client;
         if round.begin {
             // Transaction open: the client issues its first request.
@@ -638,10 +692,7 @@ impl Cluster {
         let buffered = std::mem::take(&mut self.cstate[client.index()].txn_buffer);
         let first_issues = std::mem::take(&mut self.cstate[client.index()].txn_first_issue);
         for op in buffered {
-            let issued_at = first_issues
-                .get(op.req_index)
-                .copied()
-                .unwrap_or(op.t_done);
+            let issued_at = first_issues.get(op.req_index).copied().unwrap_or(op.t_done);
             self.record_completed(
                 ctx, client, op.is_read, issued_at, op.t_done, op.key, op.version, home,
             );
@@ -660,7 +711,12 @@ impl Cluster {
 
     /// Retry entry point after a wait backoff or a wound. A stale token
     /// means the operation timeout already reset this client.
-    pub(crate) fn on_txn_retry(&mut self, ctx: &mut Context<'_, Event>, client: ClientId, token: u64) {
+    pub(crate) fn on_txn_retry(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        client: ClientId,
+        token: u64,
+    ) {
         if self.done || token != self.cstate[client.index()].op_token {
             return;
         }
@@ -717,7 +773,9 @@ impl Cluster {
         version: u64,
         bytes: u32,
     ) {
-        self.cstate[client.index()].txn_writes.push((key, version, bytes));
+        self.cstate[client.index()]
+            .txn_writes
+            .push((key, version, bytes));
     }
 }
 

@@ -13,7 +13,9 @@ use ddp_workload::{ClientId, Request};
 use crate::message::{Message, ScopeId, TxnId, WriteId};
 use crate::model::{Consistency, Persistency};
 
-use super::{ChainedPersist, Cluster, Event, PendingWrite, PersistCtx, PersistPurpose, QueuedWrite};
+use super::{
+    ChainedPersist, Cluster, Event, PendingWrite, PersistCtx, PersistPurpose, QueuedWrite,
+};
 
 impl Cluster {
     /// Entry point for a client write at its coordinator.
@@ -145,14 +147,25 @@ impl Cluster {
         // the VP of a write issued during warm-up.
         self.lifecycle.visible(version, key, applied_at.as_nanos());
         self.trace(ctx, TraceEventKind::WriteIssue, home.0, key, version, 0);
-        self.trace_at(ctx, applied_at, TraceEventKind::WriteVp, home.0, key, version, 0);
+        self.trace_at(
+            ctx,
+            applied_at,
+            TraceEventKind::WriteVp,
+            home.0,
+            key,
+            version,
+            0,
+        );
 
         // Crashed followers will never answer: pre-acknowledge them so the
         // round completes on the surviving quorum.
         if self.faults_active {
             let (mask, count) = self.down_mask();
             if count > 0 {
-                let pw = self.nodes[home.index()].pending.get_mut(&seq).expect("just inserted");
+                let pw = self.nodes[home.index()]
+                    .pending
+                    .get_mut(&seq)
+                    .expect("just inserted");
                 pw.acked_c |= mask;
                 pw.acked_p |= mask;
                 pw.acks += count;
@@ -225,7 +238,11 @@ impl Cluster {
             if needs_c || needs_p {
                 ctx.schedule_at(
                     applied_at + self.cfg.faults.ack_timeout,
-                    Event::WriteRetry { node: home, seq, attempt: 1 },
+                    Event::WriteRetry {
+                        node: home,
+                        seq,
+                        attempt: 1,
+                    },
                 );
             }
             if inflight_set {
@@ -250,7 +267,10 @@ impl Cluster {
         let (cons, pers) = (self.cons, self.pers);
         let epoch = self.node_epoch[home.index()];
         let (key, version, bytes) = {
-            let pw = self.nodes[home.index()].pending.get(&seq).expect("just inserted");
+            let pw = self.nodes[home.index()]
+                .pending
+                .get(&seq)
+                .expect("just inserted");
             (pw.key, pw.version, pw.value_bytes)
         };
         let purpose = PersistPurpose::WriteLocal { seq };
@@ -265,7 +285,10 @@ impl Cluster {
                             .get_mut(&seq)
                             .expect("just inserted");
                         pw.local_persisted = true;
-                        (pw.client, pw.txn.expect("transactional write carries its txn"))
+                        (
+                            pw.client,
+                            pw.txn.expect("transactional write carries its txn"),
+                        )
                     };
                     self.note_txn_local_write(client, txn, key, version, bytes);
                 } else if cons == Consistency::Causal {
@@ -289,7 +312,12 @@ impl Cluster {
                         applied_at,
                         Self::addr(key),
                         u64::from(bytes),
-                        PersistCtx { key, version, purpose, epoch },
+                        PersistCtx {
+                            key,
+                            version,
+                            purpose,
+                            epoch,
+                        },
                         true,
                     );
                 }
@@ -301,7 +329,12 @@ impl Cluster {
                     applied_at,
                     Self::addr(key),
                     u64::from(bytes),
-                    PersistCtx { key, version, purpose, epoch },
+                    PersistCtx {
+                        key,
+                        version,
+                        purpose,
+                        epoch,
+                    },
                     true,
                 );
             }
@@ -347,7 +380,12 @@ impl Cluster {
     }
 
     /// Fires a delayed Eventual-consistency UPD broadcast.
-    pub(crate) fn on_lazy_propagate(&mut self, ctx: &mut Context<'_, Event>, home: NodeId, seq: u64) {
+    pub(crate) fn on_lazy_propagate(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        home: NodeId,
+        seq: u64,
+    ) {
         let Some(pw) = self.nodes[home.index()].pending.get(&seq) else {
             return;
         };
@@ -365,7 +403,12 @@ impl Cluster {
 
     /// Re-evaluates a pending write after any contributing event: sends VAL
     /// messages and acknowledges the client when its conditions are met.
-    pub(crate) fn try_progress_write(&mut self, ctx: &mut Context<'_, Event>, home: NodeId, seq: u64) {
+    pub(crate) fn try_progress_write(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        home: NodeId,
+        seq: u64,
+    ) {
         let (cons, pers) = (self.cons, self.pers);
         let Some(pw) = self.nodes[home.index()].pending.get(&seq) else {
             return;
@@ -382,22 +425,50 @@ impl Cluster {
 
         // --- VAL stage (INV-based consistency models only). ---
         if cons.uses_inv_ack_val() {
-            let per_write_vals = cons != Consistency::Transactional || pers == Persistency::ReadEnforced;
+            let per_write_vals =
+                cons != Consistency::Transactional || pers == Persistency::ReadEnforced;
             if per_write_vals {
                 match pers {
                     Persistency::Synchronous | Persistency::Strict => {
                         if !val_sent && acks == needed && local_persisted {
-                            self.emit_val(ctx, home, seq, Message::Val { write, key, version });
+                            self.emit_val(
+                                ctx,
+                                home,
+                                seq,
+                                Message::Val {
+                                    write,
+                                    key,
+                                    version,
+                                },
+                            );
                         }
                     }
                     Persistency::ReadEnforced => {
                         if !val_p_sent && acks_p == needed && local_persisted {
-                            self.emit_val_p(ctx, home, seq, Message::ValP { write, key, version });
+                            self.emit_val_p(
+                                ctx,
+                                home,
+                                seq,
+                                Message::ValP {
+                                    write,
+                                    key,
+                                    version,
+                                },
+                            );
                         }
                     }
                     Persistency::Scope | Persistency::Eventual => {
                         if !val_sent && acks == needed {
-                            self.emit_val(ctx, home, seq, Message::ValC { write, key, version });
+                            self.emit_val(
+                                ctx,
+                                home,
+                                seq,
+                                Message::ValC {
+                                    write,
+                                    key,
+                                    version,
+                                },
+                            );
                         }
                     }
                 }
@@ -428,7 +499,10 @@ impl Cluster {
         // condition held (clamped to the local-apply time, below which the
         // write could not have completed anyway).
         {
-            let pw = self.nodes[home.index()].pending.get_mut(&seq).expect("present above");
+            let pw = self.nodes[home.index()]
+                .pending
+                .get_mut(&seq)
+                .expect("present above");
             if cons_ok && pw.cons_ok_at.is_none() {
                 pw.cons_ok_at = Some(ctx.now().max(earliest));
             }
@@ -458,7 +532,9 @@ impl Cluster {
                 let network = cons_at.saturating_since(earliest);
                 // Persist stall: extra wait for durability beyond that.
                 let persist_stall = pers_at.saturating_since(cons_at.max(earliest));
-                self.stats.phase.record_write(service, queue, network, persist_stall);
+                self.stats
+                    .phase
+                    .record_write(service, queue, network, persist_stall);
             }
             if !abandoned {
                 if txn.is_some() {
@@ -477,7 +553,10 @@ impl Cluster {
     fn emit_val(&mut self, ctx: &mut Context<'_, Event>, home: NodeId, seq: u64, msg: Message) {
         let combined = matches!(msg, Message::Val { .. });
         let (key, version, write) = {
-            let pw = self.nodes[home.index()].pending.get_mut(&seq).expect("caller checked");
+            let pw = self.nodes[home.index()]
+                .pending
+                .get_mut(&seq)
+                .expect("caller checked");
             pw.val_sent = true;
             (pw.key, pw.version, pw.write)
         };
@@ -497,7 +576,10 @@ impl Cluster {
     /// Sends VAL_p, the durability validation of Read-Enforced persistency.
     fn emit_val_p(&mut self, ctx: &mut Context<'_, Event>, home: NodeId, seq: u64, msg: Message) {
         let (key, version, write) = {
-            let pw = self.nodes[home.index()].pending.get_mut(&seq).expect("caller checked");
+            let pw = self.nodes[home.index()]
+                .pending
+                .get_mut(&seq)
+                .expect("caller checked");
             pw.val_p_sent = true;
             (pw.key, pw.version, pw.write)
         };
@@ -513,7 +595,12 @@ impl Cluster {
     }
 
     /// Starts the next queued write on a key once its predecessor validates.
-    pub(crate) fn pop_queued_write(&mut self, ctx: &mut Context<'_, Event>, home: NodeId, key: ddp_store::Key) {
+    pub(crate) fn pop_queued_write(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        home: NodeId,
+        key: ddp_store::Key,
+    ) {
         let Some(queue) = self.nodes[home.index()].waiting_writes.get_mut(&key) else {
             return;
         };
@@ -525,7 +612,14 @@ impl Cluster {
         }
         let queued_ns = ctx.now().saturating_since(qw.queued_at).as_nanos();
         self.begin_write_round(
-            ctx, home, qw.client, qw.request, qw.issued_at, queued_ns, qw.txn, qw.scope,
+            ctx,
+            home,
+            qw.client,
+            qw.request,
+            qw.issued_at,
+            queued_ns,
+            qw.txn,
+            qw.scope,
         );
     }
 
@@ -545,7 +639,12 @@ impl Cluster {
     }
 
     /// Starts the next persist of a chain if none is in flight.
-    pub(crate) fn advance_chain(&mut self, ctx: &mut Context<'_, Event>, node: NodeId, origin: NodeId) {
+    pub(crate) fn advance_chain(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        origin: NodeId,
+    ) {
         let epoch = self.node_epoch[node.index()];
         let entry = {
             let n = &mut self.nodes[node.index()];
@@ -585,7 +684,10 @@ impl Cluster {
         msg: &Message,
         kind: RdmaKind,
     ) {
-        let targets: Vec<NodeId> = (0..self.cfg.nodes).map(NodeId).filter(|&n| n != from).collect();
+        let targets: Vec<NodeId> = (0..self.cfg.nodes)
+            .map(NodeId)
+            .filter(|&n| n != from)
+            .collect();
         let when = when.max(ctx.now());
         for to in targets {
             self.send_at(ctx, when, from, to, msg.clone(), kind);

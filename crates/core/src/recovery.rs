@@ -225,7 +225,12 @@ mod tests {
         // 4 nodes: majority = 4/2 + 1 = 3, so a 2-2 split must recover the
         // lower version — exactly half is not a quorum.
         let s = snap(
-            vec![img(&[(1, 9)]), img(&[(1, 9)]), img(&[(1, 5)]), img(&[(1, 5)])],
+            vec![
+                img(&[(1, 9)]),
+                img(&[(1, 9)]),
+                img(&[(1, 5)]),
+                img(&[(1, 5)]),
+            ],
             vec![img(&[(1, 9)]); 4],
         );
         let r = recover(&s, RecoveryPolicy::MajorityVote);
@@ -234,7 +239,12 @@ mod tests {
 
         // A third image at 9 tips the quorum.
         let s = snap(
-            vec![img(&[(1, 9)]), img(&[(1, 9)]), img(&[(1, 9)]), img(&[(1, 5)])],
+            vec![
+                img(&[(1, 9)]),
+                img(&[(1, 9)]),
+                img(&[(1, 9)]),
+                img(&[(1, 5)]),
+            ],
             vec![img(&[(1, 9)]); 4],
         );
         let r = recover(&s, RecoveryPolicy::MajorityVote);
@@ -245,7 +255,11 @@ mod tests {
     #[test]
     fn multiple_keys_recover_independently() {
         let s = snap(
-            vec![img(&[(1, 1), (2, 2)]), img(&[(1, 1)]), img(&[(1, 1), (2, 2)])],
+            vec![
+                img(&[(1, 1), (2, 2)]),
+                img(&[(1, 1)]),
+                img(&[(1, 1), (2, 2)]),
+            ],
             vec![img(&[(1, 1), (2, 2)]); 3],
         );
         let r = recover(&s, RecoveryPolicy::MajorityVote);

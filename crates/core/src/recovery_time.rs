@@ -217,7 +217,11 @@ mod tests {
     #[test]
     fn voting_costs_at_least_simple() {
         let snap = ClusterSnapshot {
-            nvm: vec![img(&[(1, 5), (2, 3)]), img(&[(1, 5), (2, 3)]), img(&[(1, 4)])],
+            nvm: vec![
+                img(&[(1, 5), (2, 3)]),
+                img(&[(1, 5), (2, 3)]),
+                img(&[(1, 4)]),
+            ],
             volatile: vec![img(&[(1, 5), (2, 3)]); 3],
         };
         let (mem, net) = params();

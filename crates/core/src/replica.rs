@@ -1,6 +1,8 @@
 //! Per-node replica state: what each node knows about each key.
 
-use ddp_store::{AvlMap, BPlusTree, BTree, HashTable, Key, KvStore, SlabCache, SlabSized, StoreKind};
+use ddp_store::{
+    AvlMap, BPlusTree, BTree, HashTable, Key, KvStore, SlabCache, SlabSized, StoreKind,
+};
 
 use crate::message::WriteId;
 
@@ -87,7 +89,9 @@ impl ReplicaStore {
             StoreKind::BPlusTree => ReplicaStore::BPlus(BPlusTree::new()),
             // 64 GB, the per-node NVM capacity: effectively unbounded for
             // protocol state, so the cache behaves as a plain hash store.
-            StoreKind::Memcached => ReplicaStore::Memcached(SlabCache::with_capacity_bytes(1 << 36)),
+            StoreKind::Memcached => {
+                ReplicaStore::Memcached(SlabCache::with_capacity_bytes(1 << 36))
+            }
         }
     }
 

@@ -147,6 +147,56 @@ impl RunStats {
         }
         self.ol_shed as f64 / self.ol_arrivals as f64
     }
+
+    /// Folds another shard's statistics into this one for fleet-level
+    /// aggregation: counters and durations sum, histograms merge, the
+    /// measured window becomes the union (`window_start` = earliest start,
+    /// `measured_time` = latest end minus that start), and fault traces
+    /// concatenate.
+    ///
+    /// The two [`LevelGauge`] fields (`causal_buffered`,
+    /// `admission_queue`) are *not* merged — a time-weighted occupancy has
+    /// no meaningful pooled form at this layer. Fleet summaries instead
+    /// sum the per-shard gauge-derived summary fields.
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.reads_completed += other.reads_completed;
+        self.writes_completed += other.writes_completed;
+        self.read_latency.merge(&other.read_latency);
+        self.write_latency.merge(&other.write_latency);
+        self.access_latency.merge(&other.access_latency);
+        self.network_bytes += other.network_bytes;
+        self.messages_sent += other.messages_sent;
+        self.reads_stalled_on_persist += other.reads_stalled_on_persist;
+        self.reads_stalled_on_consistency += other.reads_stalled_on_consistency;
+        self.txns_started += other.txns_started;
+        self.txns_conflicted += other.txns_conflicted;
+        self.txns_committed += other.txns_committed;
+        self.persists_issued += other.persists_issued;
+        self.nvm_queue_wait += other.nvm_queue_wait;
+        self.vp_dp_lag.merge(&other.vp_dp_lag);
+        self.phase.merge(&other.phase);
+        // Union of the measured windows: earliest start to latest end.
+        let self_end = self.window_start + self.measured_time;
+        let other_end = other.window_start + other.measured_time;
+        self.window_start = self.window_start.min(other.window_start);
+        self.measured_time = self_end.max(other_end).saturating_since(self.window_start);
+        self.messages_dropped += other.messages_dropped;
+        self.messages_duplicated += other.messages_duplicated;
+        self.messages_delayed += other.messages_delayed;
+        self.retransmits += other.retransmits;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.client_timeouts += other.client_timeouts;
+        self.transient_expirations += other.transient_expirations;
+        self.catchup_keys += other.catchup_keys;
+        self.crashes.extend_from_slice(&other.crashes);
+        self.rejoins.extend_from_slice(&other.rejoins);
+        self.ol_arrivals += other.ol_arrivals;
+        self.ol_rejections += other.ol_rejections;
+        self.ol_retries += other.ol_retries;
+        self.ol_shed += other.ol_shed;
+        self.admissions += other.admissions;
+        self.admission_wait += other.admission_wait;
+    }
 }
 
 /// A condensed, comparable summary of one run (what the figure harnesses
@@ -389,6 +439,60 @@ mod tests {
         assert_eq!(closed.offered_per_sec, 0.0);
         assert_eq!(closed.shed_rate, 0.0);
         assert_eq!(closed.mean_admission_wait_ns, 0.0);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_unions_windows() {
+        let a = RunStats {
+            reads_completed: 10,
+            writes_completed: 5,
+            network_bytes: 100,
+            ol_arrivals: 7,
+            window_start: SimTime::from_nanos(100),
+            measured_time: Duration::from_nanos(400), // window [100, 500]
+            crashes: vec![(0, SimTime::from_nanos(50))],
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            reads_completed: 3,
+            writes_completed: 2,
+            network_bytes: 40,
+            ol_arrivals: 1,
+            window_start: SimTime::from_nanos(80),
+            measured_time: Duration::from_nanos(300), // window [80, 380]
+            crashes: vec![(1, SimTime::from_nanos(60))],
+            ..RunStats::default()
+        };
+        let mut merged = RunStats {
+            window_start: a.window_start,
+            ..RunStats::default()
+        };
+        merged.absorb(&a);
+        merged.absorb(&b);
+        assert_eq!(merged.completed(), 20);
+        assert_eq!(merged.network_bytes, 140);
+        assert_eq!(merged.ol_arrivals, 8);
+        assert_eq!(merged.window_start, SimTime::from_nanos(80));
+        assert_eq!(merged.measured_time, Duration::from_nanos(420)); // [80, 500]
+        assert_eq!(merged.crashes.len(), 2);
+    }
+
+    #[test]
+    fn absorb_of_single_shard_is_identity_for_the_window() {
+        let a = RunStats {
+            reads_completed: 4,
+            window_start: SimTime::from_nanos(1_000),
+            measured_time: Duration::from_nanos(2_500),
+            ..RunStats::default()
+        };
+        let mut merged = RunStats {
+            window_start: a.window_start,
+            ..RunStats::default()
+        };
+        merged.absorb(&a);
+        assert_eq!(merged.window_start, a.window_start);
+        assert_eq!(merged.measured_time, a.measured_time);
+        assert_eq!(merged.reads_completed, 4);
     }
 
     #[test]

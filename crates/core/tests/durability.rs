@@ -76,10 +76,7 @@ fn read_enforced_consistency_with_sync_persistency_can_lose_unread_writes() {
 
 #[test]
 fn newest_available_recovery_recovers_at_least_as_much_as_voting() {
-    let sim = run_with_log(DdpModel::new(
-        Consistency::Causal,
-        Persistency::Synchronous,
-    ));
+    let sim = run_with_log(DdpModel::new(Consistency::Causal, Persistency::Synchronous));
     let snapshot = crash_snapshot(sim.cluster());
     let vote = recover(&snapshot, RecoveryPolicy::MajorityVote);
     let newest = recover(&snapshot, RecoveryPolicy::NewestAvailable);
@@ -132,10 +129,7 @@ fn read_staleness_orders_models() {
     // Reads under Eventual consistency are more stale than under
     // Linearizable consistency.
     let lin = run_with_log(DdpModel::baseline());
-    let ev = run_with_log(DdpModel::new(
-        Consistency::Eventual,
-        Persistency::Eventual,
-    ));
+    let ev = run_with_log(DdpModel::new(Consistency::Eventual, Persistency::Eventual));
     let lin_fresh = HistoryChecker::new(lin.cluster().observations().clone()).fresh_read_fraction();
     let ev_fresh = HistoryChecker::new(ev.cluster().observations().clone()).fresh_read_fraction();
     assert!(
@@ -149,10 +143,7 @@ fn read_staleness_orders_models() {
 fn causal_sync_reads_are_always_recoverable() {
     // §5.2(f): under <Causal, Synchronous> a read returns the latest
     // *persisted* version, so every read value survives a crash.
-    let sim = run_with_log(DdpModel::new(
-        Consistency::Causal,
-        Persistency::Synchronous,
-    ));
+    let sim = run_with_log(DdpModel::new(Consistency::Causal, Persistency::Synchronous));
     let snapshot = crash_snapshot(sim.cluster());
     let recovered = recover(&snapshot, RecoveryPolicy::NewestAvailable);
     let log = sim.cluster().observations();

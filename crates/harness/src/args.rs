@@ -18,7 +18,12 @@
 //!   report mean ± spread per cell (see [`crate::seeds`]);
 //! * `--load R1,R2,…` — offered-load points for open-loop sweeps
 //!   (interpretation is bin-specific: the `overload` bin reads them as
-//!   multiples of each model's measured closed-loop capacity).
+//!   multiples of each model's measured closed-loop capacity);
+//! * `--shards S1,S2,…` — shard counts for sharded fleet sweeps (the
+//!   `scaling` bin's x-axis);
+//! * `--burst B1,B2,…` — MMPP burst ratios for open-loop sweeps
+//!   (1.0 = plain Poisson; the `overload` bin adds one sweep row per
+//!   ratio).
 //!
 //! [`record_fields`]: crate::fields::record_fields
 
@@ -44,6 +49,11 @@ pub struct HarnessArgs {
     pub seeds: u32,
     /// Offered-load points for open-loop sweeps (empty: bin default).
     pub load: Vec<f64>,
+    /// Shard counts for sharded fleet sweeps (empty: bin default).
+    pub shards: Vec<u16>,
+    /// MMPP burst ratios for open-loop sweeps (empty: bin default;
+    /// 1.0 = plain Poisson arrivals).
+    pub burst: Vec<f64>,
 }
 
 impl Default for HarnessArgs {
@@ -57,6 +67,8 @@ impl Default for HarnessArgs {
             quick: false,
             seeds: 1,
             load: Vec::new(),
+            shards: Vec::new(),
+            burst: Vec::new(),
         }
     }
 }
@@ -132,6 +144,40 @@ impl HarnessArgs {
                         return Err("--load needs at least one point".to_string());
                     }
                 }
+                "--shards" => {
+                    let v = it.next().ok_or("--shards needs a comma-separated list")?;
+                    parsed.shards = v
+                        .split(',')
+                        .map(|p| {
+                            p.trim()
+                                .parse::<u16>()
+                                .ok()
+                                .filter(|&s| s >= 1)
+                                .ok_or_else(|| {
+                                    format!("--shards needs positive shard counts, got {p:?}")
+                                })
+                        })
+                        .collect::<Result<Vec<u16>, String>>()?;
+                    if parsed.shards.is_empty() {
+                        return Err("--shards needs at least one count".to_string());
+                    }
+                }
+                "--burst" => {
+                    let v = it.next().ok_or("--burst needs a comma-separated list")?;
+                    parsed.burst = v
+                        .split(',')
+                        .map(|p| {
+                            p.trim()
+                                .parse::<f64>()
+                                .ok()
+                                .filter(|x| x.is_finite() && *x >= 1.0)
+                                .ok_or_else(|| format!("--burst needs ratios >= 1.0, got {p:?}"))
+                        })
+                        .collect::<Result<Vec<f64>, String>>()?;
+                    if parsed.burst.is_empty() {
+                        return Err("--burst needs at least one ratio".to_string());
+                    }
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -155,7 +201,8 @@ impl HarnessArgs {
     pub fn usage(bin: &str) -> String {
         format!(
             "usage: {bin} [--threads N] [--json PATH] [--csv PATH] [--trace PATH] \
-             [--trace-sample NS] [--quick] [--seeds N] [--load R1,R2,...]\n\
+             [--trace-sample NS] [--quick] [--seeds N] [--load R1,R2,...] \
+             [--shards S1,S2,...] [--burst B1,B2,...]\n\
              \x20 --threads N        executor worker threads (default: DDP_THREADS or all cores)\n\
              \x20 --json PATH        write every run record to PATH as JSON lines\n\
              \x20 --csv PATH         write every run record to PATH as CSV (same fields)\n\
@@ -163,7 +210,9 @@ impl HarnessArgs {
              \x20 --trace-sample NS  with --trace, emit gauge samples every NS simulated ns\n\
              \x20 --quick            smoke-test request counts (ClusterConfig::quick)\n\
              \x20 --seeds N          replicate each trial under N derived seeds; report mean ± spread\n\
-             \x20 --load R1,R2,...   offered-load points for open-loop sweeps (bin-specific units)"
+             \x20 --load R1,R2,...   offered-load points for open-loop sweeps (bin-specific units)\n\
+             \x20 --shards S1,S2,... shard counts for sharded fleet sweeps\n\
+             \x20 --burst B1,B2,...  MMPP burst ratios for open-loop sweeps (1.0 = plain Poisson)"
         )
     }
 }
@@ -207,11 +256,17 @@ mod tests {
             "5",
             "--load",
             "0.5,0.8, 1.1,2.5",
+            "--shards",
+            "1,2, 4,8",
+            "--burst",
+            "1.0,4.0",
         ])
         .unwrap();
         assert_eq!(a.threads, 4);
         assert_eq!(a.seeds, 5);
         assert_eq!(a.load, vec![0.5, 0.8, 1.1, 2.5]);
+        assert_eq!(a.shards, vec![1, 2, 4, 8]);
+        assert_eq!(a.burst, vec![1.0, 4.0]);
         assert_eq!(
             a.json.as_deref(),
             Some(std::path::Path::new("/tmp/out.jsonl"))
@@ -240,6 +295,13 @@ mod tests {
         assert!(parse(&["--load", ""]).is_err());
         assert!(parse(&["--load", "1.0,-2.0"]).is_err());
         assert!(parse(&["--load", "1.0,nope"]).is_err());
+        assert!(parse(&["--shards"]).is_err());
+        assert!(parse(&["--shards", ""]).is_err());
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--shards", "2,none"]).is_err());
+        assert!(parse(&["--burst"]).is_err());
+        assert!(parse(&["--burst", "0.5"]).is_err());
+        assert!(parse(&["--burst", "2.0,nope"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
     }
 
@@ -256,5 +318,7 @@ mod tests {
         assert!(a.json.is_none() && a.csv.is_none() && a.trace.is_none() && !a.quick);
         assert_eq!(a.seeds, 1);
         assert!(a.load.is_empty());
+        assert!(a.shards.is_empty());
+        assert!(a.burst.is_empty());
     }
 }

@@ -257,6 +257,15 @@ impl Harness {
         }
     }
 
+    /// Writes one pre-serialized line to the `--trace` stream (for sweeps
+    /// the facade does not run itself, such as fleet sweeps). A no-op
+    /// without `--trace`.
+    pub fn emit_trace_line(&mut self, json: &str) {
+        if let Some(writer) = &mut self.trace_writer {
+            writer.write_line(json).expect("writing --trace line");
+        }
+    }
+
     /// Flushes the output streams and reports the bin's total wall-clock
     /// to stderr.
     pub fn finish(mut self) {

@@ -44,6 +44,7 @@ pub mod args;
 pub mod csv;
 pub mod exec;
 pub mod fields;
+pub mod fleet;
 pub mod json;
 pub mod record;
 pub mod seeds;
@@ -55,6 +56,10 @@ pub use args::{default_threads, HarnessArgs};
 pub use csv::{csv_header, escape_csv, record_to_csv, CsvWriter};
 pub use exec::{run_sweep, run_sweep_named, run_sweep_traced, Harness};
 pub use fields::{record_fields, FieldValue};
+pub use fleet::{
+    fleet_record_to_json, run_fleet_sweep, run_fleet_sweep_traced, FleetRecord, FleetSweep,
+    FleetTrial,
+};
 pub use json::{escape_json, json_f64, record_to_json, unescape_json, JsonLinesWriter, JsonObject};
 pub use record::{RunCounters, RunRecord};
 pub use seeds::{
@@ -63,7 +68,9 @@ pub use seeds::{
 };
 pub use sweep::{ModelGrid, Sweep, Trial};
 pub use table::{bar, normalized, print_row, print_rule, ratio};
-pub use trace::{trace_end_to_json, trace_event_to_json};
+pub use trace::{
+    fleet_trace_end_to_json, fleet_trace_event_to_json, trace_end_to_json, trace_event_to_json,
+};
 
 use ddp_core::{ClusterConfig, DdpModel, RunSummary, Simulation};
 
@@ -81,6 +88,10 @@ const _: () = {
     assert_send::<RunRecord>();
     assert_send::<RunSummary>();
     assert_send::<Sweep>();
+    assert_send::<ddp_core::FleetSimulation>();
+    assert_send::<ddp_core::FleetConfig>();
+    assert_send::<FleetRecord>();
+    assert_send::<FleetSweep>();
 };
 
 /// The experiment length used by the figure harnesses. Large enough for

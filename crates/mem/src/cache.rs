@@ -126,8 +126,7 @@ impl CacheHierarchy {
     #[must_use]
     pub fn new(params: &MemoryParams) -> Self {
         let llc_total = params.llc_total();
-        let ddio_ways =
-            ((f64::from(llc_total.ways) * params.ddio_fraction).round() as u32).max(1);
+        let ddio_ways = ((f64::from(llc_total.ways) * params.ddio_fraction).round() as u32).max(1);
         let ddio = CacheParams {
             ways: ddio_ways,
             capacity_bytes: llc_total.capacity_bytes * u64::from(ddio_ways)

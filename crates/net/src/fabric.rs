@@ -144,7 +144,14 @@ impl Fabric {
     /// # Panics
     ///
     /// Panics if `from == to` — local operations do not cross the fabric.
-    pub fn unicast(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64, kind: RdmaKind) -> Delivery {
+    pub fn unicast(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        kind: RdmaKind,
+    ) -> Delivery {
         assert_ne!(from, to, "cannot send to self over the fabric");
         let arrival = self.nics[from.index()].send_kind(now, bytes, kind);
         Delivery { to, arrival }
@@ -163,16 +170,33 @@ impl Fabric {
     /// # Panics
     ///
     /// Panics if `from == to`.
-    pub fn transmit(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64, kind: RdmaKind) -> Transmit {
+    pub fn transmit(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        kind: RdmaKind,
+    ) -> Transmit {
         assert_ne!(from, to, "cannot send to self over the fabric");
         let nic = &mut self.nics[from.index()];
         let arrival = nic.send_kind(now, bytes, kind);
         let Some(layer) = &mut self.faults else {
-            return Transmit { to, primary: Some(arrival), duplicate: None, jittered: false };
+            return Transmit {
+                to,
+                primary: Some(arrival),
+                duplicate: None,
+                jittered: false,
+            };
         };
         if layer.rng.chance(layer.profile.drop_prob) {
             nic.record_dropped();
-            return Transmit { to, primary: None, duplicate: None, jittered: false };
+            return Transmit {
+                to,
+                primary: None,
+                duplicate: None,
+                jittered: false,
+            };
         }
         let mut primary = arrival;
         let mut jittered = false;
@@ -193,7 +217,12 @@ impl Fabric {
         } else {
             None
         };
-        Transmit { to, primary: Some(primary), duplicate, jittered }
+        Transmit {
+            to,
+            primary: Some(primary),
+            duplicate,
+            jittered,
+        }
     }
 
     /// Broadcasts `bytes` from `from` to every other node.
@@ -201,7 +230,13 @@ impl Fabric {
     /// The copies serialize on the sender's egress link, so each follower
     /// sees a slightly later arrival — exactly the cost the paper's
     /// broadcast-based protocols pay per write.
-    pub fn broadcast(&mut self, now: SimTime, from: NodeId, bytes: u64, kind: RdmaKind) -> Vec<Delivery> {
+    pub fn broadcast(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        bytes: u64,
+        kind: RdmaKind,
+    ) -> Vec<Delivery> {
         let targets: Vec<NodeId> = self.nodes().filter(|&n| n != from).collect();
         targets
             .into_iter()
@@ -259,7 +294,13 @@ mod tests {
         let mut f = Fabric::new(3, NetworkParams::micro21());
         // Saturate node 0's egress.
         for _ in 0..32 {
-            f.unicast(SimTime::ZERO, NodeId(0), NodeId(1), 64 * 1024, RdmaKind::Send);
+            f.unicast(
+                SimTime::ZERO,
+                NodeId(0),
+                NodeId(1),
+                64 * 1024,
+                RdmaKind::Send,
+            );
         }
         // Node 2 is unaffected.
         let d = f.unicast(SimTime::ZERO, NodeId(2), NodeId(1), 64, RdmaKind::Send);
@@ -282,19 +323,30 @@ mod tests {
     #[test]
     fn certain_drop_loses_everything_but_consumes_egress() {
         let mut f = Fabric::new(2, NetworkParams::micro21());
-        f.set_fault_profile(FaultProfile { drop_prob: 1.0, ..FaultProfile::none() });
+        f.set_fault_profile(FaultProfile {
+            drop_prob: 1.0,
+            ..FaultProfile::none()
+        });
         for _ in 0..10 {
             let t = f.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 4096, RdmaKind::Send);
             assert!(t.dropped());
         }
         assert_eq!(f.nic(NodeId(0)).dropped_count(), 10);
-        assert_eq!(f.nic(NodeId(0)).sent_count(), 10, "drops still burn sender egress");
+        assert_eq!(
+            f.nic(NodeId(0)).sent_count(),
+            10,
+            "drops still burn sender egress"
+        );
     }
 
     #[test]
     fn certain_dup_delivers_strictly_later_copy() {
         let mut f = Fabric::new(2, NetworkParams::micro21());
-        f.set_fault_profile(FaultProfile { dup_prob: 1.0, seed: 7, ..FaultProfile::none() });
+        f.set_fault_profile(FaultProfile {
+            dup_prob: 1.0,
+            seed: 7,
+            ..FaultProfile::none()
+        });
         let t = f.transmit(SimTime::ZERO, NodeId(0), NodeId(1), 64, RdmaKind::Send);
         let primary = t.primary.expect("not dropped");
         let dup = t.duplicate.expect("duplicated");
@@ -319,7 +371,10 @@ mod tests {
             assert!(arrival >= now + base);
             delayed += u64::from(t.jittered);
         }
-        assert!(delayed > 0, "300 ns jitter over 50 sends should fire at least once");
+        assert!(
+            delayed > 0,
+            "300 ns jitter over 50 sends should fire at least once"
+        );
         assert_eq!(f.nic(NodeId(0)).delayed_count(), delayed);
     }
 
@@ -334,7 +389,15 @@ mod tests {
                 seed,
             });
             (0..200u64)
-                .map(|i| f.transmit(SimTime::from_nanos(i * 1_000), NodeId(0), NodeId(1), 64, RdmaKind::Send))
+                .map(|i| {
+                    f.transmit(
+                        SimTime::from_nanos(i * 1_000),
+                        NodeId(0),
+                        NodeId(1),
+                        64,
+                        RdmaKind::Send,
+                    )
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(outcomes(11), outcomes(11));

@@ -261,7 +261,10 @@ mod tests {
         assert_eq!(nic.sent_count_of(RdmaKind::RemoteFlush), 0);
         assert_eq!(nic.sent_count(), 4);
         assert_eq!(
-            RdmaKind::ALL.iter().map(|&k| nic.sent_count_of(k)).sum::<u64>(),
+            RdmaKind::ALL
+                .iter()
+                .map(|&k| nic.sent_count_of(k))
+                .sum::<u64>(),
             nic.sent_count()
         );
     }

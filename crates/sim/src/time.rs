@@ -349,10 +349,7 @@ mod tests {
 
     #[test]
     fn duration_sum_and_scalar_ops() {
-        let total: Duration = [1u64, 2, 3]
-            .iter()
-            .map(|&n| Duration::from_nanos(n))
-            .sum();
+        let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_nanos(n)).sum();
         assert_eq!(total, Duration::from_nanos(6));
         assert_eq!(total * 2, Duration::from_nanos(12));
         assert_eq!(total / 3, Duration::from_nanos(2));

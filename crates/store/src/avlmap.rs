@@ -61,13 +61,25 @@ fn rebalance<V>(mut node: Box<Node<V>>) -> Box<Node<V>> {
     node.update_height();
     match node.balance_factor() {
         2 => {
-            if node.left.as_ref().expect("bf=2 implies left").balance_factor() < 0 {
+            if node
+                .left
+                .as_ref()
+                .expect("bf=2 implies left")
+                .balance_factor()
+                < 0
+            {
                 node.left = Some(rotate_left(node.left.take().expect("checked")));
             }
             rotate_right(node)
         }
         -2 => {
-            if node.right.as_ref().expect("bf=-2 implies right").balance_factor() > 0 {
+            if node
+                .right
+                .as_ref()
+                .expect("bf=-2 implies right")
+                .balance_factor()
+                > 0
+            {
                 node.right = Some(rotate_right(node.right.take().expect("checked")));
             }
             rotate_left(node)

@@ -287,9 +287,10 @@ mod tests {
         }
         let got = t.scan(100, 199);
         assert_eq!(got.len(), 100);
-        assert!(got.iter().enumerate().all(|(i, (k, v))| {
-            *k == 100 + i as u64 && **v == (100 + i as u64) * 3
-        }));
+        assert!(got
+            .iter()
+            .enumerate()
+            .all(|(i, (k, v))| { *k == 100 + i as u64 && **v == (100 + i as u64) * 3 }));
     }
 
     #[test]
@@ -300,7 +301,10 @@ mod tests {
         }
         let got = t.scan(50, 100);
         let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
-        let expect: Vec<u64> = (0..1_000).step_by(7).filter(|k| (50..=100).contains(k)).collect();
+        let expect: Vec<u64> = (0..1_000)
+            .step_by(7)
+            .filter(|k| (50..=100).contains(k))
+            .collect();
         assert_eq!(keys, expect);
     }
 

@@ -204,8 +204,7 @@ impl<V> Node<V> {
             if let Some(mc) = moved_child {
                 child.children.insert(0, mc);
             }
-        } else if i + 1 < self.children.len()
-            && self.children[i + 1].keys.len() > Self::min_keys()
+        } else if i + 1 < self.children.len() && self.children[i + 1].keys.len() > Self::min_keys()
         {
             // Rotate from the right sibling through the separator.
             let (rk, rv) = {
@@ -457,7 +456,9 @@ mod tests {
         let mut model = BTreeMap::new();
         let mut state = 0xDEAD_BEEF_u64;
         for step in 0..10_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (state >> 33) % 700;
             match state % 4 {
                 0 | 1 => assert_eq!(t.put(key, step), model.insert(key, step)),

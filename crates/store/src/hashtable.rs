@@ -103,10 +103,7 @@ impl<V> HashTable<V> {
 
     fn grow(&mut self) {
         let new_cap = self.capacity() * 2;
-        let old = std::mem::replace(
-            &mut self.slots,
-            (0..new_cap).map(|_| None).collect(),
-        );
+        let old = std::mem::replace(&mut self.slots, (0..new_cap).map(|_| None).collect());
         self.shift = 64 - new_cap.trailing_zeros();
         self.len = 0;
         for slot in old.into_iter().flatten() {
@@ -144,7 +141,6 @@ impl<V> HashTable<V> {
             }
         }
     }
-
 }
 
 impl<V> Default for HashTable<V> {
@@ -182,7 +178,9 @@ impl<V> KvStore<V> for HashTable<V> {
 
     fn remove(&mut self, key: Key) -> Option<V> {
         let idx = self.find(key)?;
-        let removed = self.slots[idx].take().expect("found index must be occupied");
+        let removed = self.slots[idx]
+            .take()
+            .expect("found index must be occupied");
         self.len -= 1;
         // Backward-shift deletion keeps probe sequences tombstone-free.
         let mask = self.mask();

@@ -55,6 +55,19 @@ impl PhaseAccum {
         self.read_stall_persist += persist;
         self.reads_stalled += 1;
     }
+
+    /// Folds another accumulator in, field by field. Used when aggregating
+    /// independent runs (e.g. the shards of a fleet) into one total.
+    pub fn merge(&mut self, other: &PhaseAccum) {
+        self.write_service += other.write_service;
+        self.write_queue += other.write_queue;
+        self.write_network += other.write_network;
+        self.write_persist_stall += other.write_persist_stall;
+        self.writes += other.writes;
+        self.read_stall_consistency += other.read_stall_consistency;
+        self.read_stall_persist += other.read_stall_persist;
+        self.reads_stalled += other.reads_stalled;
+    }
 }
 
 /// Per-op mean phase times in nanoseconds — the condensed, comparable
@@ -110,6 +123,32 @@ impl PhaseBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = PhaseAccum::default();
+        a.record_write(
+            Duration::from_nanos(100),
+            Duration::from_nanos(20),
+            Duration::from_nanos(300),
+            Duration::from_nanos(60),
+        );
+        let mut b = PhaseAccum::default();
+        b.record_write(
+            Duration::from_nanos(300),
+            Duration::ZERO,
+            Duration::from_nanos(500),
+            Duration::ZERO,
+        );
+        b.record_read_stall(Duration::from_nanos(40), Duration::from_nanos(80));
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.writes, 2);
+        assert_eq!(merged.write_service, Duration::from_nanos(400));
+        assert_eq!(merged.write_network, Duration::from_nanos(800));
+        assert_eq!(merged.reads_stalled, 1);
+        assert_eq!(merged.read_stall_persist, Duration::from_nanos(80));
+    }
 
     #[test]
     fn empty_accum_breaks_down_to_zeroes() {

@@ -91,6 +91,14 @@ impl Client {
     pub fn deferred(&self) -> u64 {
         self.deferred
     }
+
+    /// Transaction groups this client's stream rejected-and-re-homed
+    /// because their natural key set spanned shards (zero when the
+    /// workload is unsharded).
+    #[must_use]
+    pub fn cross_shard_groups(&self) -> u64 {
+        self.stream.cross_shard_groups()
+    }
 }
 
 /// Builds the closed-loop client population for a cluster.
@@ -176,6 +184,13 @@ impl ClientPool {
     pub fn total_completed(&self) -> u64 {
         self.clients.iter().map(Client::completed).sum()
     }
+
+    /// Total cross-shard transaction groups rejected-and-re-homed across
+    /// all client streams (zero for unsharded workloads).
+    #[must_use]
+    pub fn total_cross_shard(&self) -> u64 {
+        self.clients.iter().map(Client::cross_shard_groups).sum()
+    }
 }
 
 #[cfg(test)]
@@ -192,8 +207,12 @@ mod tests {
     #[test]
     fn client_streams_differ() {
         let mut pool = ClientPool::new(&WorkloadSpec::ycsb_a(), 2, 1, 1);
-        let a: Vec<_> = (0..50).map(|_| pool.client_mut(ClientId(0)).next_request()).collect();
-        let b: Vec<_> = (0..50).map(|_| pool.client_mut(ClientId(1)).next_request()).collect();
+        let a: Vec<_> = (0..50)
+            .map(|_| pool.client_mut(ClientId(0)).next_request())
+            .collect();
+        let b: Vec<_> = (0..50)
+            .map(|_| pool.client_mut(ClientId(1)).next_request())
+            .collect();
         assert_ne!(a, b, "clients must not replay the same stream");
     }
 

@@ -20,11 +20,13 @@
 
 mod arrival;
 mod client;
+mod shard;
 mod ycsb;
 mod zipf;
 
 pub use arrival::{ArrivalGen, ArrivalProcess};
 pub use client::{Client, ClientId, ClientPool};
+pub use shard::{Placement, ShardRouter, ShardSlice};
 pub use ycsb::{
     OpKind, Request, RequestStream, WorkloadSpec, DEFAULT_KEY_SPACE, DEFAULT_VALUE_BYTES,
 };

@@ -2,6 +2,7 @@
 
 use ddp_sim::SimRng;
 
+use crate::shard::ShardSlice;
 use crate::zipf::{KeyChooser, Zipfian, YCSB_THETA};
 
 /// The kind of client request.
@@ -47,6 +48,9 @@ pub struct WorkloadSpec {
     pub zipf_theta: Option<f64>,
     /// Bytes carried by each write.
     pub value_bytes: u32,
+    /// Restrict the stream to one shard of a fleet (`None` = the whole
+    /// key space, the single-cluster default).
+    pub shard: Option<ShardSlice>,
 }
 
 /// Default number of keys (YCSB's default record count).
@@ -64,6 +68,7 @@ impl WorkloadSpec {
             key_space: DEFAULT_KEY_SPACE,
             zipf_theta: Some(YCSB_THETA),
             value_bytes: DEFAULT_VALUE_BYTES,
+            shard: None,
         }
     }
 
@@ -111,6 +116,24 @@ impl WorkloadSpec {
         self
     }
 
+    /// Restricts the workload to one shard of a fleet. The stream then
+    /// draws from the *global* popularity distribution but emits only keys
+    /// homed on the slice's shard (see [`ShardSlice`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice's router covers a different key space.
+    #[must_use]
+    pub fn with_shard(mut self, slice: ShardSlice) -> Self {
+        assert_eq!(
+            slice.router.key_space(),
+            self.key_space,
+            "shard router key space must match the workload's"
+        );
+        self.shard = Some(slice);
+        self
+    }
+
     /// Builds an endless request stream seeded with `seed`.
     #[must_use]
     pub fn stream(&self, seed: u64) -> RequestStream {
@@ -124,7 +147,60 @@ impl WorkloadSpec {
             read_ratio: self.read_ratio,
             value_bytes: self.value_bytes,
             produced: 0,
+            shard: self.shard.map(ShardState::new),
         }
+    }
+}
+
+/// Sharded-stream state: which keys this stream may emit, where it is in
+/// the current transactional group, and how many groups would have
+/// spanned shards.
+#[derive(Clone, Debug)]
+struct ShardState {
+    slice: ShardSlice,
+    /// Position within the current group (0 = next draw is the anchor).
+    in_group: u32,
+    /// Whether any non-anchor draw of the current group was off-shard.
+    group_crossed: bool,
+    /// Completed groups with at least one off-shard first draw.
+    cross_shard: u64,
+}
+
+impl ShardState {
+    fn new(slice: ShardSlice) -> Self {
+        ShardState {
+            slice,
+            in_group: 0,
+            group_crossed: false,
+            cross_shard: 0,
+        }
+    }
+
+    /// Draws the next on-shard key.
+    ///
+    /// The group's *anchor* (first key) is rejection-sampled until it
+    /// homes locally — that is how the shard receives exactly its
+    /// popularity share of the traffic. Later keys in the group are also
+    /// re-homed by redrawing, but an off-shard first draw marks the whole
+    /// group as a rejected cross-shard group (the counter the fleet
+    /// reports).
+    fn next_key(&mut self, chooser: &KeyChooser, rng: &mut SimRng) -> u64 {
+        let router = self.slice.router;
+        let anchor = self.in_group == 0;
+        let mut key = chooser.sample(rng);
+        if !anchor && router.home(key) != self.slice.shard {
+            self.group_crossed = true;
+        }
+        while router.home(key) != self.slice.shard {
+            key = chooser.sample(rng);
+        }
+        self.in_group += 1;
+        if self.in_group >= self.slice.group {
+            self.cross_shard += u64::from(self.group_crossed);
+            self.in_group = 0;
+            self.group_crossed = false;
+        }
+        key
     }
 }
 
@@ -136,6 +212,7 @@ pub struct RequestStream {
     read_ratio: f64,
     value_bytes: u32,
     produced: u64,
+    shard: Option<ShardState>,
 }
 
 impl RequestStream {
@@ -146,7 +223,10 @@ impl RequestStream {
         } else {
             OpKind::Write
         };
-        let key = self.chooser.sample(&mut self.rng);
+        let key = match self.shard.as_mut() {
+            None => self.chooser.sample(&mut self.rng),
+            Some(state) => state.next_key(&self.chooser, &mut self.rng),
+        };
         self.produced += 1;
         Request {
             key,
@@ -159,6 +239,14 @@ impl RequestStream {
     #[must_use]
     pub fn produced(&self) -> u64 {
         self.produced
+    }
+
+    /// Completed transaction groups whose natural key set spanned shards
+    /// (rejected and re-homed; see [`ShardSlice`]). Always zero for an
+    /// unsharded stream.
+    #[must_use]
+    pub fn cross_shard_groups(&self) -> u64 {
+        self.shard.as_ref().map_or(0, |s| s.cross_shard)
     }
 }
 
@@ -257,5 +345,53 @@ mod tests {
             stream.next_request();
         }
         assert_eq!(stream.produced(), 7);
+    }
+
+    #[test]
+    fn sharded_stream_emits_only_home_keys() {
+        use crate::shard::{Placement, ShardRouter, ShardSlice};
+        let router = ShardRouter::new(Placement::Hash, 4, DEFAULT_KEY_SPACE);
+        for shard in 0..4 {
+            let spec = WorkloadSpec::ycsb_a().with_shard(ShardSlice::new(router, shard));
+            let mut stream = spec.stream(7);
+            for _ in 0..5_000 {
+                assert_eq!(router.home(stream.next_request().key), shard);
+            }
+            assert_eq!(stream.cross_shard_groups(), 0, "ungrouped never crosses");
+        }
+    }
+
+    #[test]
+    fn grouped_sharded_stream_counts_cross_shard_groups() {
+        use crate::shard::{Placement, ShardRouter, ShardSlice};
+        let router = ShardRouter::new(Placement::Hash, 4, DEFAULT_KEY_SPACE);
+        let slice = ShardSlice::new(router, 1).with_group(5);
+        let spec = WorkloadSpec::ycsb_a().with_shard(slice);
+        let mut stream = spec.stream(11);
+        let groups = 2_000;
+        for _ in 0..groups * 5 {
+            assert_eq!(router.home(stream.next_request().key), 1);
+        }
+        // With 4 shards, P(all 4 non-anchor keys home locally) ~ (1/4)^4,
+        // so nearly every group is counted as cross-shard.
+        let crossed = stream.cross_shard_groups();
+        assert!(
+            crossed > groups * 9 / 10 && crossed <= groups,
+            "implausible cross-shard count {crossed} of {groups}"
+        );
+    }
+
+    #[test]
+    fn sharded_stream_keeps_the_read_mix() {
+        use crate::shard::{Placement, ShardRouter, ShardSlice};
+        let router = ShardRouter::new(Placement::Range, 8, DEFAULT_KEY_SPACE);
+        let spec = WorkloadSpec::ycsb_b().with_shard(ShardSlice::new(router, 3));
+        let mut stream = spec.stream(13);
+        let n = 20_000;
+        let reads = (0..n)
+            .filter(|_| stream.next_request().op == OpKind::Read)
+            .count();
+        let frac = reads as f64 / f64::from(n);
+        assert!((frac - 0.95).abs() < 0.01, "read fraction {frac}");
     }
 }

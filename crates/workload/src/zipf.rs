@@ -69,8 +69,8 @@ impl Zipfian {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
             let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
-            let tail = ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
-                / (1.0 - theta);
+            let tail =
+                ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }
@@ -198,7 +198,10 @@ mod tests {
         }
         let min = *counts.iter().min().unwrap() as f64;
         let max = *counts.iter().max().unwrap() as f64;
-        assert!(max / min < 1.6, "theta~0 should be near-uniform: {counts:?}");
+        assert!(
+            max / min < 1.6,
+            "theta~0 should be near-uniform: {counts:?}"
+        );
     }
 
     #[test]

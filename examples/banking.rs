@@ -35,6 +35,7 @@ fn main() {
             key_space: 100_000,
             zipf_theta: Some(0.9),
             value_bytes: 128,
+            shard: None,
         };
         cfg.warmup_requests = 1_000;
         cfg.measured_requests = 10_000;

@@ -11,9 +11,7 @@
 //! comment-thread-like workload and verifies the session guarantees with
 //! the history checker.
 
-use ddp_core::{
-    ClusterConfig, Consistency, DdpModel, HistoryChecker, Persistency, Simulation,
-};
+use ddp_core::{ClusterConfig, Consistency, DdpModel, HistoryChecker, Persistency, Simulation};
 use ddp_workload::WorkloadSpec;
 
 fn run(model: DdpModel) -> (f64, bool, f64) {
@@ -25,6 +23,7 @@ fn run(model: DdpModel) -> (f64, bool, f64) {
         key_space: 10_000,
         zipf_theta: Some(0.99),
         value_bytes: 512,
+        shard: None,
     };
     cfg.warmup_requests = 1_000;
     cfg.measured_requests = 10_000;

@@ -50,7 +50,10 @@ impl Criterion {
 
     /// Starts a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.to_string() }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -128,7 +131,11 @@ impl Bencher {
 fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher::default();
     f(&mut b);
-    let per_iter = if b.iters == 0 { 0 } else { b.elapsed.as_nanos() / u128::from(b.iters) };
+    let per_iter = if b.iters == 0 {
+        0
+    } else {
+        b.elapsed.as_nanos() / u128::from(b.iters)
+    };
     println!("{name:<40} {per_iter:>12} ns/iter ({} iters)", b.iters);
 }
 

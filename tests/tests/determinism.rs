@@ -135,15 +135,15 @@ fn observation_log_is_ordered_by_completion() {
     // therefore holds up to that small slack.
     const SLACK_NS: u64 = 2_000;
     assert!(
-        log.reads.windows(2).all(|w| {
-            w[1].completed_at.as_nanos() + SLACK_NS >= w[0].completed_at.as_nanos()
-        }),
+        log.reads
+            .windows(2)
+            .all(|w| { w[1].completed_at.as_nanos() + SLACK_NS >= w[0].completed_at.as_nanos() }),
         "reads logged far out of completion order"
     );
     assert!(
-        log.writes.windows(2).all(|w| {
-            w[1].completed_at.as_nanos() + SLACK_NS >= w[0].completed_at.as_nanos()
-        }),
+        log.writes
+            .windows(2)
+            .all(|w| { w[1].completed_at.as_nanos() + SLACK_NS >= w[0].completed_at.as_nanos() }),
         "writes logged far out of completion order"
     );
 }

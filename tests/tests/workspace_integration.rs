@@ -30,7 +30,13 @@ fn substrates_compose_manually() {
         let lat = mem.volatile_access(req.key << 6);
         now += lat;
         store.put(req.key, req.value_bytes);
-        let d = fabric.unicast(now, NodeId(0), NodeId(1), 64 + u64::from(req.value_bytes), RdmaKind::WriteVolatile);
+        let d = fabric.unicast(
+            now,
+            NodeId(0),
+            NodeId(1),
+            64 + u64::from(req.value_bytes),
+            RdmaKind::WriteVolatile,
+        );
         assert!(d.arrival > now, "messages must take time");
         let done = mem.persist(now, req.key << 6, u64::from(req.value_bytes));
         assert!(done > now, "persists must take time");
@@ -66,7 +72,9 @@ fn end_to_end_runs_on_every_store_backend() {
 fn paper_headline_orderings_hold_end_to_end() {
     // The one-line summary of Figure 6a: strictest slowest, most relaxed
     // fastest, causal in between.
-    let lin = run_experiment(tiny(DdpModel::baseline())).summary.throughput;
+    let lin = run_experiment(tiny(DdpModel::baseline()))
+        .summary
+        .throughput;
     let causal = run_experiment(tiny(DdpModel::new(
         Consistency::Causal,
         Persistency::Synchronous,
