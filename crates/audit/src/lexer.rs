@@ -1,0 +1,454 @@
+//! A minimal comment/string-aware Rust lexer.
+//!
+//! The auditor's lints are token-level ("the identifier `HashMap` appears",
+//! "`unsafe` without a SAFETY comment"), so the lexer only needs to split a
+//! source file into identifiers, punctuation, and literals — *correctly
+//! skipping* everything a grep-based linter trips over: line and (nested)
+//! block comments, string literals (plain, raw, byte, and raw-byte), char
+//! literals, and lifetimes. Comments are not discarded: they are collected
+//! separately because the escape grammar (`// audit:allow(...)`) and the
+//! unsafe-justification rule (`// SAFETY:`) live in them.
+//!
+//! The lexer is intentionally forgiving — an unterminated literal consumes
+//! the rest of the file rather than erroring — because the compiler, not
+//! the auditor, owns syntax validity. The auditor only has to agree with
+//! rustc about what is *code* and what is not.
+
+/// What a token is, at the granularity the lints need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `fn`, ...).
+    Ident,
+    /// A single punctuation character (`:`, `{`, `=`, ...).
+    Punct,
+    /// A string literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A numeric literal (`0`, `0x1F`, `1_000`, `2.5`).
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text. For [`TokKind::Str`] this is the *body* with the
+    /// delimiters stripped is not attempted — lints never match on string
+    /// contents, so the raw slice (delimiters included) is kept as-is.
+    pub text: String,
+}
+
+/// One comment with its 1-based starting line, text including the `//` or
+/// `/*` introducer.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text, introducer included.
+    pub text: String,
+}
+
+/// A lexed source file: the code tokens and, separately, the comments.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// True if `src[i..]` starts a raw/byte string literal (`r"`, `r#`, `b"`,
+/// `br"`, `br#`); returns the offset of the opening construct past the
+/// prefix letters.
+fn string_prefix_len(b: &[u8], i: usize) -> Option<usize> {
+    let rest = &b[i..];
+    let prefix = if rest.starts_with(b"br") || rest.starts_with(b"rb") {
+        2
+    } else if rest.starts_with(b"r") || rest.starts_with(b"b") {
+        1
+    } else {
+        return None;
+    };
+    match rest.get(prefix) {
+        Some(b'"') => Some(prefix),
+        Some(b'#') if rest[..prefix].contains(&b'r') => {
+            // r#"..."# or r#ident (raw identifier). Peek past the hashes:
+            // a quote means raw string, anything else is `r#ident`.
+            let mut j = prefix;
+            while rest.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            (rest.get(j) == Some(&b'"')).then_some(prefix)
+        }
+        _ => None,
+    }
+}
+
+/// Lexes one source file. Never fails; unterminated constructs extend to
+/// the end of the input.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Counts the newlines in `b[from..to]` into `line`.
+    let count_lines = |line: &mut u32, from: usize, to: usize| {
+        *line += b[from..to].iter().filter(|&&c| c == b'\n').count() as u32;
+    };
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (`//`, `///`, `//!`).
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: src[start..i].to_string(),
+            });
+            continue;
+        }
+        // Block comment, nested per Rust rules.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            count_lines(&mut line, start, i);
+            out.comments.push(Comment {
+                line: start_line,
+                text: src[start..i].to_string(),
+            });
+            continue;
+        }
+        // Raw / byte string literals (r"", r#""#, b"", br#""#).
+        if (c == b'r' || c == b'b') && string_prefix_len(b, i).is_some() {
+            let prefix = string_prefix_len(b, i).expect("checked above");
+            let start = i;
+            let start_line = line;
+            let mut j = i + prefix;
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            debug_assert_eq!(b.get(j), Some(&b'"'));
+            j += 1; // past the opening quote
+            if hashes == 0 && b[i..].starts_with(b"b\"") {
+                // b"..." is an escaped (non-raw) byte string.
+                while j < n {
+                    match b[j] {
+                        b'\\' => j += 2,
+                        b'"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+            } else {
+                // Raw: ends at `"` followed by `hashes` hashes.
+                while j < n {
+                    if b[j] == b'"' && b[j + 1..].starts_with(&b"#".repeat(hashes)) {
+                        j += 1 + hashes;
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            count_lines(&mut line, start, j.min(n));
+            out.tokens.push(Token {
+                line: start_line,
+                kind: TokKind::Str,
+                text: src[start..j.min(n)].to_string(),
+            });
+            i = j.min(n);
+            continue;
+        }
+        // Plain string literal.
+        if c == b'"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let end = i.min(n);
+            count_lines(&mut line, start, end);
+            out.tokens.push(Token {
+                line: start_line,
+                kind: TokKind::Str,
+                text: src[start..end].to_string(),
+            });
+            i = end;
+            continue;
+        }
+        // Byte-char literal b'x'.
+        if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+            let start = i;
+            i += 2;
+            while i < n {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'\'' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.tokens.push(Token {
+                line,
+                kind: TokKind::Char,
+                text: src[start..i.min(n)].to_string(),
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let start = i;
+            if b.get(i + 1) == Some(&b'\\') {
+                // Escaped char literal '\n', '\'', '\u{..}': scan from the
+                // byte after the opening quote so the backslash consumes
+                // its escapee.
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokKind::Char,
+                    text: src[start..i.min(n)].to_string(),
+                });
+                continue;
+            }
+            if b.get(i + 1).copied().is_some_and(is_ident_start) {
+                // 'a' is a char literal; 'a (no closing quote) a lifetime.
+                let mut j = i + 1;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'\'') {
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokKind::Char,
+                        text: src[start..=j].to_string(),
+                    });
+                    i = j + 1;
+                } else {
+                    out.tokens.push(Token {
+                        line,
+                        kind: TokKind::Lifetime,
+                        text: src[start..j].to_string(),
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Non-alphabetic char literal: '(' , ' ' , etc.
+            let mut j = i + 1;
+            while j < n && b[j] != b'\'' {
+                j += 1;
+            }
+            let end = (j + 1).min(n);
+            out.tokens.push(Token {
+                line,
+                kind: TokKind::Char,
+                text: src[start..end].to_string(),
+            });
+            i = end;
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                line,
+                kind: TokKind::Ident,
+                text: src[start..i].to_string(),
+            });
+            continue;
+        }
+        // Number. A `.` is part of the number only when a digit follows,
+        // so `0..n` lexes as Num(0) Punct(.) Punct(.) Ident(n).
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n {
+                let continues = is_ident_continue(b[i])
+                    || (b[i] == b'.' && b.get(i + 1).copied().is_some_and(|d| d.is_ascii_digit()));
+                if !continues {
+                    break;
+                }
+                i += 1;
+            }
+            out.tokens.push(Token {
+                line,
+                kind: TokKind::Num,
+                text: src[start..i].to_string(),
+            });
+            continue;
+        }
+        // Everything else: one punctuation character per token.
+        out.tokens.push(Token {
+            line,
+            kind: TokKind::Punct,
+            text: src[i..i + c.len_utf8_at(src, i)].to_string(),
+        });
+        i += c.len_utf8_at(src, i);
+    }
+    out
+}
+
+/// Helper: byte length of the (possibly multi-byte) char starting at `i`.
+trait Utf8At {
+    fn len_utf8_at(self, src: &str, i: usize) -> usize;
+}
+
+impl Utf8At for u8 {
+    fn len_utf8_at(self, src: &str, i: usize) -> usize {
+        if self.is_ascii() {
+            1
+        } else {
+            src[i..].chars().next().map_or(1, char::len_utf8)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let l = lex("// HashMap in a comment\nlet x = 1; /* HashSet\n nested /* deep */ */ y");
+        assert!(
+            !idents("// HashMap in a comment\nlet x = 1; /* HashSet\n nested /* deep */ */ y")
+                .contains(&"HashMap".to_string())
+        );
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        // The token after the block comment lands on the right line.
+        let y = l.tokens.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn strings_are_not_code() {
+        for src in [
+            r#"let s = "HashMap::new()";"#,
+            r##"let s = r#"Instant::now()"#;"##,
+            r#"let s = b"SystemTime";"#,
+            r##"let s = br#"thread_rng"#;"##,
+        ] {
+            let ids = idents(src);
+            assert_eq!(ids, vec!["let", "s"], "{src} leaked {ids:?}");
+        }
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let l = lex(r"fn f<'a>(x: &'a str) { let c = 'y'; let q = '\''; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = l.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+        // 'y' must not produce an identifier token `y`.
+        assert!(!idents(r"let c = 'y';").contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"r".to_string()) || ids.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_strings() {
+        let src = "let a = \"one\ntwo\nthree\";\nlet b = 2;";
+        let l = lex(src);
+        let b = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..n { }");
+        let texts: Vec<_> = l.tokens.iter().map(|t| t.text.clone()).collect();
+        assert!(texts.contains(&"0".to_string()));
+        assert!(texts.contains(&"n".to_string()));
+    }
+}

@@ -225,9 +225,7 @@ pub fn default_threads() -> usize {
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        })
+        .unwrap_or_else(crate::progress::available_threads)
 }
 
 #[cfg(test)]

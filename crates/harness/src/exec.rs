@@ -12,16 +12,17 @@
 //! * keeps host wall-clock out of the records entirely — progress and
 //!   timing go to **stderr**, so stdout tables and `--json` streams stay
 //!   byte-identical for any `--threads N`.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+//!
+//! The work queue, the worker threads, and all wall-clock access live in
+//! [`crate::progress`] — the one module the determinism audit lets touch
+//! host time and threads. This file only decides *what* each worker runs.
 
 use ddp_core::{ClusterConfig, Simulation, TraceDump};
 
 use crate::args::HarnessArgs;
 use crate::csv::CsvWriter;
 use crate::json::JsonLinesWriter;
+use crate::progress::{run_pool, Stopwatch};
 use crate::record::RunRecord;
 use crate::seeds::SeedAggregate;
 use crate::sweep::Sweep;
@@ -40,53 +41,15 @@ pub fn run_sweep_traced(
     threads: usize,
 ) -> Vec<(RunRecord, Option<TraceDump>)> {
     let trials = sweep.into_trials();
-    let n = trials.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    let started = Instant::now();
-    let cursor = AtomicUsize::new(0);
-    let completed = AtomicUsize::new(0);
-    type Slot = Mutex<Option<(RunRecord, Option<TraceDump>)>>;
-    let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let trial = &trials[i];
-                let trial_started = Instant::now();
-                let mut sim = Simulation::new(trial.cfg.clone());
-                sim.run();
-                let record = RunRecord::from_simulation(trial.index, trial.label.clone(), &mut sim);
-                let trace = sim.take_trace();
-                *slots[i].lock().expect("result slot poisoned") = Some((record, trace));
-                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "[{name}] trial {done}/{n} {} ({:.2}s)",
-                    trial.label,
-                    trial_started.elapsed().as_secs_f64()
-                );
-            });
-        }
-    });
-
-    eprintln!(
-        "[{name}] {n} trials in {:.2}s (threads={threads})",
-        started.elapsed().as_secs_f64()
-    );
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every scheduled trial produces a record")
-        })
-        .collect()
+    let labels: Vec<String> = trials.iter().map(|t| t.label.clone()).collect();
+    run_pool(name, "trials", &labels, threads, |i| {
+        let trial = &trials[i];
+        let mut sim = Simulation::new(trial.cfg.clone());
+        sim.run();
+        let record = RunRecord::from_simulation(trial.index, trial.label.clone(), &mut sim);
+        let trace = sim.take_trace();
+        (record, trace)
+    })
 }
 
 /// Runs every trial of a sweep on `threads` workers and returns the
@@ -129,7 +92,7 @@ pub struct Harness {
     writer: Option<JsonLinesWriter>,
     csv_writer: Option<CsvWriter>,
     trace_writer: Option<JsonLinesWriter>,
-    started: Instant,
+    started: Stopwatch,
 }
 
 impl Harness {
@@ -159,7 +122,7 @@ impl Harness {
             writer,
             csv_writer,
             trace_writer,
-            started: Instant::now(),
+            started: Stopwatch::start(),
         }
     }
 
@@ -299,7 +262,7 @@ impl Harness {
         eprintln!(
             "[{}] total wall-clock {:.2}s",
             self.name,
-            self.started.elapsed().as_secs_f64()
+            self.started.elapsed_secs()
         );
     }
 }

@@ -5,6 +5,12 @@
 //! Adding a field here adds it to the JSON object *and* the CSV header in
 //! the same position; forgetting one output format is impossible by
 //! construction.
+//!
+//! The converse — adding a `RunSummary`/`RunCounters` field and
+//! forgetting to export it here — is caught statically by the
+//! `summary-schema` invariant in `ddp-audit`: every field of those
+//! structs must appear by name in this function (struct-typed fields
+//! flattened with a prefix, e.g. `phase.service_ns` → `phase_service_ns`).
 
 use crate::record::RunRecord;
 
@@ -37,8 +43,12 @@ pub fn record_fields(r: &RunRecord) -> Vec<(&'static str, FieldValue<'_>)> {
         ("mean_read_ns", F64(s.mean_read_ns)),
         ("mean_write_ns", F64(s.mean_write_ns)),
         ("mean_access_ns", F64(s.mean_access_ns)),
+        ("p50_read_ns", F64(s.p50_read_ns)),
+        ("p50_write_ns", F64(s.p50_write_ns)),
         ("p95_read_ns", F64(s.p95_read_ns)),
         ("p95_write_ns", F64(s.p95_write_ns)),
+        ("p99_read_ns", F64(s.p99_read_ns)),
+        ("p99_write_ns", F64(s.p99_write_ns)),
         ("p999_read_ns", F64(s.p999_read_ns)),
         ("p999_write_ns", F64(s.p999_write_ns)),
         ("traffic_bytes_per_req", F64(s.traffic_bytes_per_req)),
@@ -49,6 +59,15 @@ pub fn record_fields(r: &RunRecord) -> Vec<(&'static str, FieldValue<'_>)> {
         ("txn_conflict_rate", F64(s.txn_conflict_rate)),
         ("mean_buffered_writes", F64(s.mean_buffered_writes)),
         ("max_buffered_writes", U64(s.max_buffered_writes)),
+        ("vp_dp_lag_mean_ns", F64(s.vp_dp_lag_mean_ns)),
+        ("vp_dp_lag_p95_ns", F64(s.vp_dp_lag_p95_ns)),
+        ("vp_dp_lag_max_ns", F64(s.vp_dp_lag_max_ns)),
+        ("phase_service_ns", F64(s.phase.service_ns)),
+        ("phase_queue_ns", F64(s.phase.queue_ns)),
+        ("phase_network_ns", F64(s.phase.network_ns)),
+        ("phase_persist_stall_ns", F64(s.phase.persist_stall_ns)),
+        ("phase_nvm_queue_ns", F64(s.phase.nvm_queue_ns)),
+        ("phase_read_stall_ns", F64(s.phase.read_stall_ns)),
         ("messages_dropped", U64(c.messages_dropped)),
         ("messages_duplicated", U64(c.messages_duplicated)),
         ("retransmits", U64(c.retransmits)),

@@ -9,13 +9,10 @@
 //! are pure simulation output written into index-keyed slots, so sweep
 //! output is byte-identical at any `--threads N`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
-
 use ddp_core::{DdpModel, FleetConfig, FleetSimulation, Placement, RunSummary, TraceDump};
 
 use crate::json::{json_f64, JsonObject};
+use crate::progress::run_pool;
 use crate::record::RunCounters;
 
 /// One independent fleet simulation in a sweep.
@@ -202,54 +199,15 @@ pub fn run_fleet_sweep_traced(
     threads: usize,
 ) -> Vec<(FleetRecord, Vec<(u16, TraceDump)>)> {
     let trials = sweep.into_trials();
-    let n = trials.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    let started = Instant::now();
-    let cursor = AtomicUsize::new(0);
-    let completed = AtomicUsize::new(0);
-    type Slot = Mutex<Option<(FleetRecord, Vec<(u16, TraceDump)>)>>;
-    let slots: Vec<Slot> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let trial = &trials[i];
-                let trial_started = Instant::now();
-                let mut sim = FleetSimulation::new(trial.cfg.clone());
-                sim.run();
-                let record =
-                    FleetRecord::from_simulation(trial.index, trial.label.clone(), &mut sim);
-                let traces = sim.take_traces();
-                *slots[i].lock().expect("result slot poisoned") = Some((record, traces));
-                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "[{name}] trial {done}/{n} {} ({:.2}s)",
-                    trial.label,
-                    trial_started.elapsed().as_secs_f64()
-                );
-            });
-        }
-    });
-
-    eprintln!(
-        "[{name}] {n} fleet trials in {:.2}s (threads={threads})",
-        started.elapsed().as_secs_f64()
-    );
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every scheduled trial produces a record")
-        })
-        .collect()
+    let labels: Vec<String> = trials.iter().map(|t| t.label.clone()).collect();
+    run_pool(name, "fleet trials", &labels, threads, |i| {
+        let trial = &trials[i];
+        let mut sim = FleetSimulation::new(trial.cfg.clone());
+        sim.run();
+        let record = FleetRecord::from_simulation(trial.index, trial.label.clone(), &mut sim);
+        let traces = sim.take_traces();
+        (record, traces)
+    })
 }
 
 /// [`run_fleet_sweep_traced`] without the trace dumps.

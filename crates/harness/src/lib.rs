@@ -38,6 +38,7 @@
 //! assert!(grid.baseline().summary.throughput > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
@@ -46,6 +47,7 @@ pub mod exec;
 pub mod fields;
 pub mod fleet;
 pub mod json;
+pub mod progress;
 pub mod record;
 pub mod seeds;
 pub mod sweep;
@@ -61,6 +63,7 @@ pub use fleet::{
     FleetTrial,
 };
 pub use json::{escape_json, json_f64, record_to_json, unescape_json, JsonLinesWriter, JsonObject};
+pub use progress::{available_threads, run_pool, Stopwatch};
 pub use record::{RunCounters, RunRecord};
 pub use seeds::{
     aggregate_records, aggregate_to_json, replicate, reseed, run_sweep_seeded, SeedAggregate,

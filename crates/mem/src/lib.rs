@@ -17,6 +17,7 @@
 //!
 //! [`SimTime`]: ddp_sim::SimTime
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

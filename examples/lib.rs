@@ -1,2 +1,4 @@
 //! Shared helpers for the DDP examples (currently none; each example
 //! is self-contained).
+
+#![forbid(unsafe_code)]
