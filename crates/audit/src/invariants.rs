@@ -8,6 +8,10 @@
 //!   fields are flattened through [`FLATTEN`] (`phase: PhaseBreakdown` →
 //!   `phase_service_ns`, ...). Deleting a serialized field — or adding a
 //!   summary field and forgetting the serializer — fails the audit.
+//! * **timeline-schema** — every public field of `TimelineWindow`
+//!   (`crates/trace/src/timeline.rs`) must be exported by name from
+//!   `timeline_fields` (`crates/harness/src/timeline.rs`), so the
+//!   `--timeline` JSON-lines stream cannot silently drop a window column.
 //! * **trace-discriminants** — `TraceEventKind`
 //!   (`crates/trace/src/record.rs`) must give every variant an explicit,
 //!   unique discriminant, because trace consumers persist those numbers.
@@ -29,6 +33,8 @@ const STATS_RS: &str = "crates/core/src/stats.rs";
 const RECORD_RS: &str = "crates/harness/src/record.rs";
 const FIELDS_RS: &str = "crates/harness/src/fields.rs";
 const TRACE_RECORD_RS: &str = "crates/trace/src/record.rs";
+const TIMELINE_RS: &str = "crates/trace/src/timeline.rs";
+const HARNESS_TIMELINE_RS: &str = "crates/harness/src/timeline.rs";
 const CI_YML: &str = ".github/workflows/ci.yml";
 const BENCH_BIN_DIR: &str = "crates/bench/src/bin/";
 
@@ -235,6 +241,49 @@ fn summary_schema(files: &[SourceFile], findings: &mut Vec<Finding>) {
     }
 }
 
+/// The timeline-schema check: every public `TimelineWindow` field must be
+/// a column of `timeline_fields` (the private lag histogram is exported
+/// through its accessors and is invisible to the pub-field parse).
+fn timeline_schema(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let Some(harness_rs) = file(files, HARNESS_TIMELINE_RS) else {
+        return;
+    };
+    let Some(exported) = fn_body_strings(&lex(&harness_rs.text), "timeline_fields") else {
+        findings.push(Finding {
+            path: harness_rs.path.clone(),
+            line: 1,
+            lint: "timeline-schema",
+            message: "fn timeline_fields not found".to_string(),
+        });
+        return;
+    };
+    let Some(window_rs) = file(files, TIMELINE_RS) else {
+        return;
+    };
+    let Some(fields) = struct_fields(&lex(&window_rs.text), "TimelineWindow") else {
+        findings.push(Finding {
+            path: window_rs.path.clone(),
+            line: 1,
+            lint: "timeline-schema",
+            message: "struct TimelineWindow not found".to_string(),
+        });
+        return;
+    };
+    for fld in fields {
+        if !exported.iter().any(|e| e == &fld.name) {
+            findings.push(Finding {
+                path: window_rs.path.clone(),
+                line: fld.line,
+                lint: "timeline-schema",
+                message: format!(
+                    "TimelineWindow.{} is not exported by timeline_fields",
+                    fld.name
+                ),
+            });
+        }
+    }
+}
+
 /// The trace-discriminants check.
 fn trace_discriminants(files: &[SourceFile], findings: &mut Vec<Finding>) {
     let Some(src) = file(files, TRACE_RECORD_RS) else {
@@ -368,6 +417,7 @@ fn bench_ci_coverage(files: &[SourceFile], findings: &mut Vec<Finding>) {
 pub fn check(files: &[SourceFile]) -> Vec<Finding> {
     let mut findings = Vec::new();
     summary_schema(files, &mut findings);
+    timeline_schema(files, &mut findings);
     trace_discriminants(files, &mut findings);
     bench_ci_coverage(files, &mut findings);
     findings
@@ -407,6 +457,35 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].lint, "summary-schema");
         assert!(findings[0].message.contains("extra"), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_timeline_column_is_reported() {
+        let window = SourceFile::new(
+            "crates/trace/src/timeline.rs",
+            "pub struct TimelineWindow { pub start_ns: u64, pub extra: u64, lag: Histogram }",
+        );
+        let fields = SourceFile::new(
+            "crates/harness/src/timeline.rs",
+            r#"pub fn timeline_fields() { vec![("start_ns", 1)]; }"#,
+        );
+        let findings = check(&[window, fields]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, "timeline-schema");
+        assert!(findings[0].message.contains("extra"), "{findings:?}");
+    }
+
+    #[test]
+    fn private_timeline_fields_need_no_column() {
+        let window = SourceFile::new(
+            "crates/trace/src/timeline.rs",
+            "pub struct TimelineWindow { pub start_ns: u64, lag: Histogram }",
+        );
+        let fields = SourceFile::new(
+            "crates/harness/src/timeline.rs",
+            r#"pub fn timeline_fields() { vec![("start_ns", 1)]; }"#,
+        );
+        assert!(check(&[window, fields]).is_empty());
     }
 
     #[test]

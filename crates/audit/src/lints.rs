@@ -109,6 +109,11 @@ pub const LINTS: &[LintSpec] = &[
         summary: "every RunSummary/RunCounters field must be exported by record_fields (no silent JSON/CSV schema drift)",
     },
     LintSpec {
+        name: "timeline-schema",
+        escapable: false,
+        summary: "every TimelineWindow field must be exported by timeline_fields (no silent timeline column drift)",
+    },
+    LintSpec {
         name: "trace-discriminants",
         escapable: false,
         summary: "TraceEventKind variants keep explicit, unique, stable discriminants",

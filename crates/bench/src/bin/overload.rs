@@ -23,12 +23,19 @@
 //! knee start shedding while already-saturated models trade shed for the
 //! quiet-phase drain.
 //!
+//! Part 5 explains the knee with the windowed timeline: for every model
+//! it re-runs the lowest load point and the knee point with per-window
+//! metrics on, and reports the first phase whose per-window share of the
+//! latency budget saturates (reaches its knee-run peak) — the phase that
+//! bends the curve — plus a burst-anatomy table contrasting MMPP burst
+//! windows against quiet windows.
+//!
 //! `--load R1,R2,…` overrides the capacity multipliers; `--burst
 //! B1,B2,…` overrides the burst ratios; `--seeds N` replicates the
 //! overload sweep and prints goodput as mean ±stddev.
 
-use ddp_core::{ClusterConfig, DdpModel, OpenLoopPlan};
-use ddp_harness::{print_rule, ratio, Harness, Sweep};
+use ddp_core::{ClusterConfig, DdpModel, OpenLoopPlan, TimelineWindow};
+use ddp_harness::{print_rule, ratio, run_sweep_instrumented, Harness, Sweep};
 use ddp_sim::Duration;
 
 /// Default offered-load points, as multiples of each model's measured
@@ -55,6 +62,105 @@ fn open_config(model: DdpModel, plan: OpenLoopPlan) -> ClusterConfig {
     cfg.warmup_requests = 300;
     cfg.measured_requests = 3_000;
     cfg
+}
+
+/// The six phase names of the timeline breakdown, in window-field order.
+const PHASE_NAMES: [&str; 6] = [
+    "service",
+    "queue",
+    "network",
+    "persist_stall",
+    "nvm_queue",
+    "read_stall",
+];
+
+/// One window's phase totals, in [`PHASE_NAMES`] order.
+fn phase_ns(w: &TimelineWindow) -> [u64; 6] {
+    [
+        w.service_ns,
+        w.queue_ns,
+        w.network_ns,
+        w.persist_stall_ns,
+        w.nvm_queue_ns,
+        w.read_stall_ns,
+    ]
+}
+
+/// A part-5 config: the open-loop run with the timeline enabled, the
+/// window width sized so the expected measured interval spans a few dozen
+/// windows regardless of the model's absolute rate.
+fn timeline_config(
+    model: DdpModel,
+    plan: OpenLoopPlan,
+    capacity: f64,
+    quick: bool,
+) -> ClusterConfig {
+    let mut cfg = open_config(model, plan);
+    if quick {
+        cfg = cfg.quick();
+    }
+    let expected_ns = (cfg.measured_requests as f64 / capacity * 1e9) as u64;
+    let window = (expected_ns / 32).clamp(1_000, 10_000_000);
+    cfg.trace = cfg.trace.with_timeline(Duration::from_nanos(window));
+    cfg
+}
+
+/// Whole-run share of each phase across a window list (0.0 everywhere
+/// when no phase time was recorded).
+fn aggregate_shares(windows: &[TimelineWindow]) -> [f64; 6] {
+    let mut totals = [0u64; 6];
+    for w in windows {
+        for (t, p) in totals.iter_mut().zip(phase_ns(w)) {
+            *t += p;
+        }
+    }
+    let sum: u64 = totals.iter().sum();
+    if sum == 0 {
+        return [0.0; 6];
+    }
+    totals.map(|t| t as f64 / sum as f64)
+}
+
+/// The knee attribution for one model: the first phase whose per-window
+/// share of the latency budget reaches 90% of its knee-run peak, among
+/// the phases that grew (share up by > 2 points vs the baseline run).
+/// Returns `(phase index, window index, share at that window)`.
+fn first_saturating_phase(
+    knee_windows: &[TimelineWindow],
+    baseline_share: &[f64; 6],
+) -> Option<(usize, usize, f64)> {
+    // Per-window shares; windows with no phase time carry no signal.
+    let shares: Vec<[f64; 6]> = knee_windows
+        .iter()
+        .map(|w| {
+            let total = w.phase_total_ns();
+            if total == 0 {
+                [0.0; 6]
+            } else {
+                phase_ns(w).map(|p| p as f64 / total as f64)
+            }
+        })
+        .collect();
+    let mut best: Option<(usize, usize, f64, f64)> = None; // (phase, window, share, delta)
+    for p in 0..6 {
+        let peak = shares.iter().map(|s| s[p]).fold(0.0_f64, f64::max);
+        let delta = peak - baseline_share[p];
+        if delta <= 0.02 {
+            continue; // the phase never grew past its off-knee share
+        }
+        let Some(at) = shares.iter().position(|s| s[p] >= 0.9 * peak) else {
+            continue;
+        };
+        let better = match best {
+            None => true,
+            // Earliest saturation wins; ties go to the larger growth.
+            Some((_, w, _, d)) => at < w || (at == w && delta > d),
+        };
+        if better {
+            best = Some((p, at, shares[at][p], delta));
+        }
+    }
+    best.map(|(p, w, s, _)| (p, w, s))
 }
 
 fn main() {
@@ -253,6 +359,142 @@ fn main() {
             );
         }
         println!();
+    }
+
+    // Part 5: explain the knee with the windowed timeline. Per model,
+    // three instrumented runs — the lowest load point (reference shares),
+    // the knee (attribution), and the knee compressed into MMPP bursts
+    // (anatomy) — in model-major order: trial 3k is model k's baseline,
+    // 3k+1 its knee run, 3k+2 its burst run.
+    let base_mult = loads.first().copied().unwrap_or(0.5);
+    let burst_ratio = bursts.first().copied().unwrap_or(BURST_RATIOS[0]);
+    let quick = harness.args().quick;
+    let mut explain_sweep = Sweep::new();
+    for model in DdpModel::all() {
+        let capacity = capacity_records[model.grid_index()].summary.throughput;
+        explain_sweep.push(
+            format!("{model} x{base_mult} timeline"),
+            timeline_config(
+                model,
+                OpenLoopPlan::poisson(capacity * base_mult),
+                capacity,
+                quick,
+            ),
+        );
+        explain_sweep.push(
+            format!("{model} x{knee_mult} timeline"),
+            timeline_config(
+                model,
+                OpenLoopPlan::poisson(capacity * knee_mult),
+                capacity,
+                quick,
+            ),
+        );
+        let mut plan = OpenLoopPlan::poisson(capacity * knee_mult);
+        if burst_ratio > 1.0 {
+            plan = plan.with_burst(burst_ratio, BURST_DWELL);
+        }
+        explain_sweep.push(
+            format!("{model} x{knee_mult} burst{burst_ratio} timeline"),
+            timeline_config(model, plan, capacity, quick),
+        );
+    }
+    let explain = run_sweep_instrumented("overload", explain_sweep, harness.args().threads);
+
+    println!("\nPart 5 - knee attribution (first phase whose per-window share saturates at x{knee_mult})");
+    println!(
+        "{:<28} {:>14} {:>7} {:>9} {:>9}",
+        "model", "phase", "window", "share", "base"
+    );
+    print_rule(5);
+    for model in DdpModel::all() {
+        let base_dump = explain[model.grid_index() * 3].2.as_ref();
+        let knee_dump = explain[model.grid_index() * 3 + 1].2.as_ref();
+        let (Some(base_dump), Some(knee_dump)) = (base_dump, knee_dump) else {
+            println!("{:<28} {:>14}", model.to_string(), "(no timeline)");
+            continue;
+        };
+        let baseline_share = aggregate_shares(&base_dump.windows);
+        match first_saturating_phase(&knee_dump.windows, &baseline_share) {
+            Some((p, w, share)) => println!(
+                "{:<28} {:>14} {:>7} {:>8.1}% {:>8.1}%",
+                model.to_string(),
+                PHASE_NAMES[p],
+                w,
+                share * 100.0,
+                baseline_share[p] * 100.0
+            ),
+            None => println!(
+                "{:<28} {:>14} {:>7} {:>9} {:>9}",
+                model.to_string(),
+                "(none grew)",
+                "-",
+                "-",
+                "-"
+            ),
+        }
+    }
+
+    println!(
+        "\nPart 5b - burst anatomy at x{knee_mult}, burst ratio {burst_ratio} \
+         (windows split at the mean arrival count)"
+    );
+    println!(
+        "{:<28} {:>6} {:>6} {:>8} {:>8} {:>8} {:>8} {:>14}",
+        "model", "b.win", "q.win", "b.shed", "q.shed", "b.admq", "q.admq", "b.phase"
+    );
+    print_rule(8);
+    for model in DdpModel::all() {
+        let Some(dump) = explain[model.grid_index() * 3 + 2].2.as_ref() else {
+            println!("{:<28} {:>6}", model.to_string(), "-");
+            continue;
+        };
+        let windows = &dump.windows;
+        if windows.is_empty() {
+            println!("{:<28} {:>6}", model.to_string(), "-");
+            continue;
+        }
+        let mean_arrivals =
+            windows.iter().map(|w| w.ol_arrivals).sum::<u64>() as f64 / windows.len() as f64;
+        let (mut b, mut q) = (Vec::new(), Vec::new());
+        for w in windows {
+            if w.ol_arrivals as f64 > mean_arrivals {
+                b.push(w);
+            } else {
+                q.push(w);
+            }
+        }
+        let shed = |ws: &[&TimelineWindow]| ws.iter().map(|w| w.ol_shed).sum::<u64>();
+        let admq = |ws: &[&TimelineWindow]| {
+            if ws.is_empty() {
+                0.0
+            } else {
+                ws.iter().map(|w| w.admission_queue).sum::<u64>() as f64 / ws.len() as f64
+            }
+        };
+        // Dominant phase across the burst windows.
+        let mut totals = [0u64; 6];
+        for w in &b {
+            for (t, p) in totals.iter_mut().zip(phase_ns(w)) {
+                *t += p;
+            }
+        }
+        let dominant = totals
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &t)| t)
+            .map_or("-", |(i, &t)| if t == 0 { "-" } else { PHASE_NAMES[i] });
+        println!(
+            "{:<28} {:>6} {:>6} {:>8} {:>8} {:>8.1} {:>8.1} {:>14}",
+            model.to_string(),
+            b.len(),
+            q.len(),
+            shed(&b),
+            shed(&q),
+            admq(&b),
+            admq(&q),
+            dominant
+        );
     }
 
     println!(

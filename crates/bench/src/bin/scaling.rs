@@ -18,12 +18,14 @@
 //!
 //! `--shards S1,S2,…` overrides the swept shard counts (default 1,2,4,8);
 //! `--json PATH` writes one `fleet_record` line per trial; `--trace PATH`
-//! streams per-shard event traces with a leading `shard` field.
+//! streams per-shard event traces with a leading `shard` field;
+//! `--timeline PATH` streams per-shard timeline windows the same way.
 
 use ddp_core::{ClusterConfig, DdpModel, FleetConfig, Placement};
 use ddp_harness::{
-    fleet_record_to_json, fleet_trace_end_to_json, fleet_trace_event_to_json, print_rule,
-    run_fleet_sweep_traced, FleetRecord, FleetSweep, Harness, HarnessArgs,
+    fleet_record_to_json, fleet_timeline_end_to_json, fleet_timeline_window_to_json,
+    fleet_trace_end_to_json, fleet_trace_event_to_json, print_rule, run_fleet_sweep_instrumented,
+    FleetRecord, FleetSweep, Harness, HarnessArgs,
 };
 
 /// Default swept shard counts.
@@ -49,13 +51,24 @@ fn skewed_config(model: DdpModel) -> ClusterConfig {
 
 /// Applies the shared flags to a fleet trial's base config (the fleet
 /// counterpart of what [`Harness::run`] does to a [`Sweep`]): `--quick`
-/// shortens the run, `--trace` enables per-shard event tracing.
+/// shortens the run, `--trace` enables per-shard event tracing,
+/// `--timeline` enables the per-shard windowed timeline.
 fn apply_flags(cfg: ClusterConfig, args: &HarnessArgs) -> ClusterConfig {
     let mut cfg = if args.quick { cfg.quick() } else { cfg };
-    if args.trace.is_some() {
-        let mut trace_cfg = ddp_core::TraceConfig::enabled();
+    if args.trace.is_some() || args.timeline.is_some() {
+        let mut trace_cfg = if args.trace.is_some() {
+            ddp_core::TraceConfig::enabled()
+        } else {
+            ddp_core::TraceConfig::default()
+        };
         if let Some(ns) = args.trace_sample {
             trace_cfg = trace_cfg.with_sample_interval(ddp_sim::Duration::from_nanos(ns));
+        }
+        if args.timeline.is_some() {
+            let ns = args
+                .window_ns
+                .unwrap_or(ddp_harness::exec::DEFAULT_WINDOW_NS);
+            trace_cfg = trace_cfg.with_timeline(ddp_sim::Duration::from_nanos(ns));
         }
         cfg = cfg.with_trace(trace_cfg);
     }
@@ -73,17 +86,34 @@ fn weak_scale(mut cfg: ClusterConfig, s: u16) -> ClusterConfig {
     cfg
 }
 
-/// Runs one fleet sweep and streams its records (and, under `--trace`,
-/// its per-shard event streams) through the harness writers.
+/// Runs one fleet sweep and streams its records (and, under `--trace` /
+/// `--timeline`, its per-shard event and window streams) through the
+/// harness writers.
 fn run_scaling_sweep(harness: &mut Harness, sweep: FleetSweep) -> Vec<FleetRecord> {
-    let results = run_fleet_sweep_traced("scaling", sweep, harness.args().threads);
+    let results = run_fleet_sweep_instrumented("scaling", sweep, harness.args().threads);
     let mut records = Vec::with_capacity(results.len());
-    for (record, dumps) in results {
+    for (record, dumps, timelines) in results {
         for (shard, dump) in &dumps {
             for event in &dump.events {
                 harness.emit_trace_line(&fleet_trace_event_to_json(record.index, *shard, event));
             }
             harness.emit_trace_line(&fleet_trace_end_to_json(
+                record.index,
+                *shard,
+                &record.label,
+                dump,
+            ));
+        }
+        for (shard, dump) in &timelines {
+            for (k, w) in dump.windows.iter().enumerate() {
+                harness.emit_timeline_line(&fleet_timeline_window_to_json(
+                    record.index,
+                    *shard,
+                    k,
+                    w,
+                ));
+            }
+            harness.emit_timeline_line(&fleet_timeline_end_to_json(
                 record.index,
                 *shard,
                 &record.label,

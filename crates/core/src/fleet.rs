@@ -38,7 +38,7 @@ use crate::protocol::{Cluster, Event};
 use crate::stats::{RunStats, RunSummary};
 use ddp_net::NodeId;
 use ddp_sim::{Context, Duration, Engine, Model, SimTime};
-use ddp_trace::TraceDump;
+use ddp_trace::{TimelineDump, TraceDump};
 use ddp_workload::{ClientId, KeyChooser, Placement, ShardRouter, ShardSlice, Zipfian};
 
 /// Seed stride for deriving per-shard seeds from the fleet seed: shard `s`
@@ -362,10 +362,10 @@ pub struct FleetReport {
     /// The key→shard placement used.
     pub placement: Placement,
     /// Fleet-wide summary: pooled histograms and counters over the union
-    /// of the shards' measured windows. The four gauge-derived occupancy
-    /// fields (`mean/max_buffered_writes`, `mean/max_admission_queue`)
-    /// are sums of the per-shard values, since time-weighted gauges do
-    /// not pool.
+    /// of the shards' measured windows. The six gauge-derived occupancy
+    /// fields (`mean/max_buffered_writes`, `mean/max_admission_queue`,
+    /// `mean/max_nvm_bank_queue`) are sums of the per-shard values, since
+    /// time-weighted gauges do not pool.
     pub aggregate: RunSummary,
     /// Each shard's own summary, indexed by shard.
     pub per_shard: Vec<RunSummary>,
@@ -475,10 +475,12 @@ impl FleetSimulation {
                 } else {
                     fallback
                 };
-                let stats = &mut self.fleet.shards[s].stats;
-                stats.causal_buffered.finish(end);
-                stats.admission_queue.finish(end);
-                stats.measured_time = end.saturating_since(stats.window_start);
+                let shard = &mut self.fleet.shards[s];
+                shard.stats.causal_buffered.finish(end);
+                shard.stats.admission_queue.finish(end);
+                shard.stats.nvm_bank_queue.finish(end);
+                shard.finish_timeline(end);
+                shard.stats.measured_time = end.saturating_since(shard.stats.window_start);
             }
             self.ran = true;
         }
@@ -486,7 +488,7 @@ impl FleetSimulation {
     }
 
     /// Fleet-wide merged statistics: counters summed, histograms pooled,
-    /// the measured window unioned (see [`RunStats::absorb`]). The two
+    /// the measured window unioned (see [`RunStats::absorb`]). The three
     /// level gauges are left default — occupancy does not pool; use the
     /// per-shard summaries for those.
     #[must_use]
@@ -525,6 +527,8 @@ impl FleetSimulation {
         aggregate.max_buffered_writes = per_shard.iter().map(|s| s.max_buffered_writes).sum();
         aggregate.mean_admission_queue = per_shard.iter().map(|s| s.mean_admission_queue).sum();
         aggregate.max_admission_queue = per_shard.iter().map(|s| s.max_admission_queue).sum();
+        aggregate.mean_nvm_bank_queue = per_shard.iter().map(|s| s.mean_nvm_bank_queue).sum();
+        aggregate.max_nvm_bank_queue = per_shard.iter().map(|s| s.max_nvm_bank_queue).sum();
 
         let total: u64 = shard_completed.iter().sum();
         let imbalance = if total == 0 {
@@ -579,6 +583,17 @@ impl FleetSimulation {
             .iter_mut()
             .enumerate()
             .filter_map(|(s, c)| c.take_trace().map(|d| (s as u16, d)))
+            .collect()
+    }
+
+    /// Drains every shard's windowed timeline: `(shard, dump)` pairs for
+    /// shards with the timeline enabled.
+    pub fn take_timelines(&mut self) -> Vec<(u16, TimelineDump)> {
+        self.fleet
+            .shards
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(s, c)| c.take_timeline().map(|d| (s as u16, d)))
             .collect()
     }
 }

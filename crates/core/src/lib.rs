@@ -92,5 +92,6 @@ pub use ddp_workload::{Placement, ShardRouter, ShardSlice};
 // Re-exported so harnesses and tests can configure and consume tracing
 // without depending on `ddp-trace` directly.
 pub use ddp_trace::{
-    PhaseAccum, PhaseBreakdown, StallCause, TraceConfig, TraceDump, TraceEventKind, TraceRecord,
+    PhaseAccum, PhaseBreakdown, StallCause, Timeline, TimelineDump, TimelineWindow, TraceConfig,
+    TraceDump, TraceEventKind, TraceRecord,
 };

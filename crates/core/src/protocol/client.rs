@@ -209,6 +209,7 @@ impl Cluster {
                 self.stats.write_latency.record(latency);
             }
             self.stats.access_latency.record(latency);
+            self.timeline.completion(t_done.as_nanos(), !is_read);
             self.measured_completed += 1;
         }
         if self.cfg.record_observations {
@@ -246,10 +247,14 @@ impl Cluster {
         fresh
             .admission_queue
             .set(now, self.stats.admission_queue.current());
+        fresh.nvm_bank_queue.set(now, self.nvm_queued_total);
         // The fault trace describes the whole run, not the window.
         fresh.crashes = std::mem::take(&mut self.stats.crashes);
         fresh.rejoins = std::mem::take(&mut self.stats.rejoins);
         self.stats = fresh;
+        // Window 0 of the timeline starts at the measurement boundary so
+        // per-window sums match the measured totals by construction.
+        self.timeline.anchor(now.as_nanos());
         self.update_buffer_gauge(now);
     }
 

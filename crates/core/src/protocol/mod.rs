@@ -43,7 +43,10 @@ use crate::message::{Message, ScopeId, TxnId, WriteId};
 use crate::model::{Consistency, Persistency};
 use crate::replica::ReplicaStore;
 use crate::stats::{RunStats, RunSummary};
-use ddp_trace::{SampleClock, TraceDump, TraceEventKind, TraceRecord, Tracer, WriteLifecycles};
+use ddp_trace::{
+    SampleClock, Timeline, TimelineDump, TraceDump, TraceEventKind, TraceRecord, Tracer,
+    WriteLifecycles,
+};
 
 pub use admission::OpenLoopAccounting;
 use admission::OpenLoopState;
@@ -553,6 +556,15 @@ pub struct Cluster {
     /// (not in `RunStats`) because the warm-up boundary replaces the stats
     /// wholesale while writes straddle it.
     pub(crate) lifecycle: WriteLifecycles,
+    /// Opt-in windowed metrics timeline; a disabled timeline is one
+    /// predictable branch per hook. Lives here (like `lifecycle`) because
+    /// the warm-up boundary replaces `RunStats` wholesale.
+    pub(crate) timeline: Timeline,
+    /// Last known NVM bank-queue depth per node (input to the cluster
+    /// `nvm_bank_queue` gauge, maintained incrementally).
+    pub(crate) nvm_queued_level: Vec<u64>,
+    /// Sum of `nvm_queued_level` (the cluster gauge's current level).
+    pub(crate) nvm_queued_total: u64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -616,6 +628,9 @@ impl Cluster {
             },
             sample_clock: cfg.trace.sample_interval.map(SampleClock::new),
             lifecycle: WriteLifecycles::default(),
+            timeline: cfg.trace.build_timeline(),
+            nvm_queued_level: vec![0; n],
+            nvm_queued_total: 0,
             cfg,
         }
     }
@@ -720,6 +735,66 @@ impl Cluster {
         self.stats.causal_buffered.set(now, count);
     }
 
+    /// Updates the cluster NVM bank-queue gauge with node `node`'s exact
+    /// queued count at `at` (the other nodes' contributions keep their
+    /// last known level; the gauge is event-sampled, like the admission
+    /// gauge).
+    pub(crate) fn update_nvm_gauge(&mut self, node: NodeId, at: SimTime, queued: u64) {
+        let i = node.index();
+        self.nvm_queued_total = self.nvm_queued_total + queued - self.nvm_queued_level[i];
+        self.nvm_queued_level[i] = queued;
+        self.stats.nvm_bank_queue.set(at, self.nvm_queued_total);
+    }
+
+    /// Closes any timeline windows whose boundary has passed, stamping
+    /// their close-of-window gauge snapshots.
+    ///
+    /// Called at the top of every event dispatch (like
+    /// [`Cluster::maybe_sample`]); it never schedules engine events and
+    /// only reads cluster state, so enabling the timeline cannot perturb
+    /// the simulation.
+    pub(crate) fn roll_timeline(&mut self, ctx: &Context<'_, Event>) {
+        if !self.measuring || !self.timeline.is_enabled() {
+            return;
+        }
+        let now_ns = ctx.now().as_nanos();
+        while let Some(at_ns) = self.timeline.boundary_due(now_ns) {
+            let boundary = SimTime::from_nanos(at_ns);
+            let busy = self
+                .cstate
+                .iter()
+                .filter(|c| c.phase == ClientPhase::Busy)
+                .count() as u64;
+            let adm = self.ol.as_ref().map_or(0, |ol| ol.queued());
+            let nvm: u64 = self
+                .nodes
+                .iter()
+                .map(|n| n.mem.nvm_queued_at(boundary) as u64)
+                .sum();
+            self.timeline.snapshot(at_ns, adm, busy, nvm);
+        }
+    }
+
+    /// Stamps the timeline's final (possibly partial) window at run end.
+    /// A no-op unless the timeline is on and measurement began.
+    pub(crate) fn finish_timeline(&mut self, now: SimTime) {
+        if !self.measuring || !self.timeline.is_enabled() {
+            return;
+        }
+        let busy = self
+            .cstate
+            .iter()
+            .filter(|c| c.phase == ClientPhase::Busy)
+            .count() as u64;
+        let adm = self.ol.as_ref().map_or(0, |ol| ol.queued());
+        let nvm: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.mem.nvm_queued_at(now) as u64)
+            .sum();
+        self.timeline.finish(now.as_nanos(), adm, busy, nvm);
+    }
+
     /// Records one trace event stamped at `ctx.now()`.
     #[inline]
     pub(crate) fn trace(
@@ -811,6 +886,21 @@ impl Cluster {
                         node: u8::MAX,
                     });
                 }
+                let queued: u64 = self
+                    .nodes
+                    .iter()
+                    .map(|n| n.mem.nvm_queued_at(boundary) as u64)
+                    .sum();
+                self.tracer.push(TraceRecord {
+                    seq,
+                    at_ns,
+                    a: queued,
+                    b: nvm,
+                    c: 0,
+                    d: 0,
+                    kind: TraceEventKind::NvmQueueSample,
+                    node: u8::MAX,
+                });
             }
         }
     }
@@ -837,9 +927,14 @@ impl Cluster {
         let done = self.nodes[node.index()].mem.persist(when, addr, bytes);
         let wait_after = self.nodes[node.index()].mem.nvm().total_queue_wait();
         let queue_wait = wait_after.saturating_sub(wait_before);
+        // `persist` pruned the device at `when`, so its queued count is
+        // exact here.
+        let queued = self.nodes[node.index()].mem.nvm().queued_now() as u64;
+        self.update_nvm_gauge(node, when, queued);
         if self.measuring && counted {
             self.stats.persists_issued += 1;
             self.stats.nvm_queue_wait += queue_wait;
+            self.timeline.persist(when.as_nanos(), queue_wait);
         }
         self.trace_at(
             ctx,
@@ -858,6 +953,15 @@ impl Cluster {
     pub fn take_trace(&mut self) -> Option<TraceDump> {
         if self.cfg.trace.events {
             Some(self.tracer.take())
+        } else {
+            None
+        }
+    }
+
+    /// Drains the windowed metrics timeline, if the timeline is enabled.
+    pub fn take_timeline(&mut self) -> Option<TimelineDump> {
+        if self.cfg.trace.timeline_window.is_some() {
+            Some(self.timeline.take())
         } else {
             None
         }
@@ -895,6 +999,7 @@ impl Model for Cluster {
             return;
         }
         self.maybe_sample(ctx);
+        self.roll_timeline(ctx);
         match event {
             Event::Issue(client, token) => self.on_issue(ctx, client, token),
             Event::Arrival => self.on_arrival(ctx),
@@ -1054,6 +1159,8 @@ impl Simulation {
             let now = self.engine.now();
             self.cluster.stats.causal_buffered.finish(now);
             self.cluster.stats.admission_queue.finish(now);
+            self.cluster.stats.nvm_bank_queue.finish(now);
+            self.cluster.finish_timeline(now);
             self.cluster.stats.measured_time =
                 now.saturating_since(self.cluster.stats.window_start);
             self.ran = true;
@@ -1073,6 +1180,12 @@ impl Simulation {
     /// Drains the trace event ring (see [`Cluster::take_trace`]).
     pub fn take_trace(&mut self) -> Option<TraceDump> {
         self.cluster.take_trace()
+    }
+
+    /// Drains the windowed metrics timeline (see
+    /// [`Cluster::take_timeline`]).
+    pub fn take_timeline(&mut self) -> Option<TimelineDump> {
+        self.cluster.take_timeline()
     }
 
     /// Mutable cluster access (failure injection).

@@ -25,6 +25,9 @@ impl Cluster {
             pctx.version,
             0,
         );
+        // Re-sample the bank queue now that this persist left the device.
+        let queued = self.nodes[node.index()].mem.nvm_queued(ctx.now()) as u64;
+        self.update_nvm_gauge(node, ctx.now(), queued);
         // Durability Point: the first persist of a versioned update to
         // complete anywhere in the cluster. Transaction-log persists carry
         // version 0 and are not updates.
@@ -33,6 +36,8 @@ impl Cluster {
                 let lag_ns = ctx.now().as_nanos().saturating_sub(open.vp_ns);
                 if self.measuring {
                     self.stats.vp_dp_lag.record(Duration::from_nanos(lag_ns));
+                    self.timeline
+                        .lag(ctx.now().as_nanos(), Duration::from_nanos(lag_ns));
                 }
                 self.trace(
                     ctx,

@@ -172,6 +172,7 @@ impl Cluster {
                         },
                         if waiter.blocked_persist { stall } else { zero },
                     );
+                    self.timeline.read_stall(ctx.now().as_nanos(), stall);
                 }
                 self.trace(
                     ctx,

@@ -535,6 +535,13 @@ impl Cluster {
                 self.stats
                     .phase
                     .record_write(service, queue, network, persist_stall);
+                self.timeline.write_phases(
+                    t_done.as_nanos(),
+                    service,
+                    queue,
+                    network,
+                    persist_stall,
+                );
             }
             if !abandoned {
                 if txn.is_some() {

@@ -91,6 +91,9 @@ pub struct RunStats {
     pub admission_wait: Duration,
     /// Admission-queue depth across all nodes, over time.
     pub admission_queue: LevelGauge,
+    /// NVM bank-queue depth (persists in flight but not yet in service)
+    /// across all nodes, sampled at persist issue/completion times.
+    pub nvm_bank_queue: LevelGauge,
 }
 
 impl RunStats {
@@ -154,10 +157,11 @@ impl RunStats {
     /// `measured_time` = latest end minus that start), and fault traces
     /// concatenate.
     ///
-    /// The two [`LevelGauge`] fields (`causal_buffered`,
-    /// `admission_queue`) are *not* merged — a time-weighted occupancy has
-    /// no meaningful pooled form at this layer. Fleet summaries instead
-    /// sum the per-shard gauge-derived summary fields.
+    /// The three [`LevelGauge`] fields (`causal_buffered`,
+    /// `admission_queue`, `nvm_bank_queue`) are *not* merged — a
+    /// time-weighted occupancy has no meaningful pooled form at this
+    /// layer. Fleet summaries instead sum the per-shard gauge-derived
+    /// summary fields.
     pub fn absorb(&mut self, other: &RunStats) {
         self.reads_completed += other.reads_completed;
         self.writes_completed += other.writes_completed;
@@ -273,6 +277,10 @@ pub struct RunSummary {
     pub max_admission_queue: u64,
     /// Mean queue + retry wait of admitted sessions, in ns.
     pub mean_admission_wait_ns: f64,
+    /// Time-weighted mean NVM bank-queue depth across all nodes.
+    pub mean_nvm_bank_queue: f64,
+    /// Peak NVM bank-queue depth across all nodes.
+    pub max_nvm_bank_queue: u64,
 }
 
 impl RunSummary {
@@ -328,6 +336,8 @@ impl RunSummary {
             } else {
                 stats.admission_wait.as_nanos() as f64 / stats.admissions as f64
             },
+            mean_nvm_bank_queue: stats.nvm_bank_queue.time_weighted_mean(),
+            max_nvm_bank_queue: stats.nvm_bank_queue.max(),
         }
     }
 }
@@ -439,6 +449,18 @@ mod tests {
         assert_eq!(closed.offered_per_sec, 0.0);
         assert_eq!(closed.shed_rate, 0.0);
         assert_eq!(closed.mean_admission_wait_ns, 0.0);
+    }
+
+    #[test]
+    fn nvm_bank_queue_gauge_surfaces_in_summary() {
+        let mut s = RunStats::default();
+        s.nvm_bank_queue.set(SimTime::ZERO, 6);
+        s.nvm_bank_queue.set(SimTime::from_nanos(500), 2);
+        s.nvm_bank_queue.finish(SimTime::from_nanos(1_000));
+        let sum = RunSummary::from_stats(&s);
+        assert_eq!(sum.max_nvm_bank_queue, 6);
+        // 6 for 500ns, 2 for 500ns => mean 4.
+        assert!((sum.mean_nvm_bank_queue - 4.0).abs() < 1e-9);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   streams to `PATH` as JSON lines;
 //! * `--trace-sample NS` — with `--trace`, also emit gauge samples every
 //!   `NS` simulated nanoseconds;
+//! * `--timeline PATH` — enable the windowed metrics timeline and write
+//!   one JSON line per `(trial, window)` to `PATH`;
+//! * `--window-ns NS` — with `--timeline`, the window width in simulated
+//!   nanoseconds (default 50 µs);
 //! * `--quick` — shrink each trial to `ClusterConfig::quick()` request
 //!   counts (smoke-test scale);
 //! * `--seeds N` — replicate every trial under `N` derived seeds and
@@ -43,6 +47,11 @@ pub struct HarnessArgs {
     pub trace: Option<PathBuf>,
     /// Gauge sample interval in simulated ns (requires `--trace`).
     pub trace_sample: Option<u64>,
+    /// Timeline output path; also enables the windowed metrics timeline
+    /// on every trial.
+    pub timeline: Option<PathBuf>,
+    /// Timeline window width in simulated ns (requires `--timeline`).
+    pub window_ns: Option<u64>,
     /// Shrink every trial to smoke-test request counts.
     pub quick: bool,
     /// Seed replicas per trial (≥ 1; 1 means no replication).
@@ -64,6 +73,8 @@ impl Default for HarnessArgs {
             csv: None,
             trace: None,
             trace_sample: None,
+            timeline: None,
+            window_ns: None,
             quick: false,
             seeds: 1,
             load: Vec::new(),
@@ -118,6 +129,17 @@ impl HarnessArgs {
                     parsed.trace_sample =
                         Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
                             format!("--trace-sample needs a positive ns count, got {v:?}")
+                        })?);
+                }
+                "--timeline" => {
+                    let v = it.next().ok_or("--timeline needs a path")?;
+                    parsed.timeline = Some(PathBuf::from(v));
+                }
+                "--window-ns" => {
+                    let v = it.next().ok_or("--window-ns needs a value")?;
+                    parsed.window_ns =
+                        Some(v.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                            format!("--window-ns needs a positive ns count, got {v:?}")
                         })?);
                 }
                 "--quick" => parsed.quick = true,
@@ -184,6 +206,9 @@ impl HarnessArgs {
         if parsed.trace_sample.is_some() && parsed.trace.is_none() {
             return Err("--trace-sample requires --trace PATH".to_string());
         }
+        if parsed.window_ns.is_some() && parsed.timeline.is_none() {
+            return Err("--window-ns requires --timeline PATH".to_string());
+        }
         Ok(parsed)
     }
 
@@ -201,13 +226,15 @@ impl HarnessArgs {
     pub fn usage(bin: &str) -> String {
         format!(
             "usage: {bin} [--threads N] [--json PATH] [--csv PATH] [--trace PATH] \
-             [--trace-sample NS] [--quick] [--seeds N] [--load R1,R2,...] \
-             [--shards S1,S2,...] [--burst B1,B2,...]\n\
+             [--trace-sample NS] [--timeline PATH] [--window-ns NS] [--quick] [--seeds N] \
+             [--load R1,R2,...] [--shards S1,S2,...] [--burst B1,B2,...]\n\
              \x20 --threads N        executor worker threads (default: DDP_THREADS or all cores)\n\
              \x20 --json PATH        write every run record to PATH as JSON lines\n\
              \x20 --csv PATH         write every run record to PATH as CSV (same fields)\n\
              \x20 --trace PATH       enable event tracing; write event streams to PATH as JSON lines\n\
              \x20 --trace-sample NS  with --trace, emit gauge samples every NS simulated ns\n\
+             \x20 --timeline PATH    enable the windowed timeline; write window rows to PATH as JSON lines\n\
+             \x20 --window-ns NS     with --timeline, window width in simulated ns (default 50000)\n\
              \x20 --quick            smoke-test request counts (ClusterConfig::quick)\n\
              \x20 --seeds N          replicate each trial under N derived seeds; report mean ± spread\n\
              \x20 --load R1,R2,...   offered-load points for open-loop sweeps (bin-specific units)\n\
@@ -249,6 +276,10 @@ mod tests {
             "/tmp/trace.jsonl",
             "--trace-sample",
             "500000",
+            "--timeline",
+            "/tmp/timeline.jsonl",
+            "--window-ns",
+            "50000",
             "--quick",
             "--seeds",
             "5",
@@ -275,6 +306,11 @@ mod tests {
             Some(std::path::Path::new("/tmp/trace.jsonl"))
         );
         assert_eq!(a.trace_sample, Some(500_000));
+        assert_eq!(
+            a.timeline.as_deref(),
+            Some(std::path::Path::new("/tmp/timeline.jsonl"))
+        );
+        assert_eq!(a.window_ns, Some(50_000));
         assert!(a.quick);
     }
 
@@ -287,6 +323,8 @@ mod tests {
         assert!(parse(&["--csv"]).is_err());
         assert!(parse(&["--trace"]).is_err());
         assert!(parse(&["--trace-sample", "0", "--trace", "/tmp/t.jsonl"]).is_err());
+        assert!(parse(&["--timeline"]).is_err());
+        assert!(parse(&["--window-ns", "0", "--timeline", "/tmp/w.jsonl"]).is_err());
         assert!(parse(&["--seeds", "0"]).is_err());
         assert!(parse(&["--seeds", "three"]).is_err());
         assert!(parse(&["--load"]).is_err());
@@ -310,10 +348,17 @@ mod tests {
     }
 
     #[test]
+    fn window_ns_requires_timeline() {
+        assert!(parse(&["--window-ns", "1000"]).is_err());
+        assert!(parse(&["--timeline", "/tmp/w.jsonl", "--window-ns", "1000"]).is_ok());
+    }
+
+    #[test]
     fn empty_args_use_defaults() {
         let a = parse(&[]).unwrap();
         assert!(a.threads >= 1);
         assert!(a.json.is_none() && a.csv.is_none() && a.trace.is_none() && !a.quick);
+        assert!(a.timeline.is_none() && a.window_ns.is_none());
         assert_eq!(a.seeds, 1);
         assert!(a.load.is_empty());
         assert!(a.shards.is_empty());

@@ -17,7 +17,7 @@
 //! [`crate::progress`] — the one module the determinism audit lets touch
 //! host time and threads. This file only decides *what* each worker runs.
 
-use ddp_core::{ClusterConfig, Simulation, TraceDump};
+use ddp_core::{ClusterConfig, Simulation, TimelineDump, TraceDump};
 
 use crate::args::HarnessArgs;
 use crate::csv::CsvWriter;
@@ -26,20 +26,26 @@ use crate::progress::{run_pool, Stopwatch};
 use crate::record::RunRecord;
 use crate::seeds::SeedAggregate;
 use crate::sweep::Sweep;
+use crate::timeline::{timeline_end_to_json, timeline_window_to_json};
 use crate::trace::{trace_end_to_json, trace_event_to_json};
 
+/// The default timeline window width when `--timeline` is given without
+/// `--window-ns`: 50 µs of simulated time, a few hundred windows on a
+/// figure-scale run.
+pub const DEFAULT_WINDOW_NS: u64 = 50_000;
+
 /// Runs every trial of a sweep on `threads` workers and returns, in grid
-/// order, each trial's record plus its drained trace dump (`None` unless
-/// the trial's config enabled event tracing). The trace must be drained
-/// inside the worker — the `Simulation` is dropped with the trial — so
-/// this is the executor's full-fidelity entry point; [`run_sweep_named`]
-/// is the common records-only view.
+/// order, each trial's record plus its drained trace dump and timeline
+/// dump (each `None` unless the trial's config enabled it). The dumps
+/// must be drained inside the worker — the `Simulation` is dropped with
+/// the trial — so this is the executor's full-fidelity entry point;
+/// [`run_sweep_traced`] and [`run_sweep_named`] are narrower views.
 #[must_use]
-pub fn run_sweep_traced(
+pub fn run_sweep_instrumented(
     name: &str,
     sweep: Sweep,
     threads: usize,
-) -> Vec<(RunRecord, Option<TraceDump>)> {
+) -> Vec<(RunRecord, Option<TraceDump>, Option<TimelineDump>)> {
     let trials = sweep.into_trials();
     let labels: Vec<String> = trials.iter().map(|t| t.label.clone()).collect();
     run_pool(name, "trials", &labels, threads, |i| {
@@ -48,8 +54,22 @@ pub fn run_sweep_traced(
         sim.run();
         let record = RunRecord::from_simulation(trial.index, trial.label.clone(), &mut sim);
         let trace = sim.take_trace();
-        (record, trace)
+        let timeline = sim.take_timeline();
+        (record, trace, timeline)
     })
+}
+
+/// [`run_sweep_instrumented`] without the timeline dumps.
+#[must_use]
+pub fn run_sweep_traced(
+    name: &str,
+    sweep: Sweep,
+    threads: usize,
+) -> Vec<(RunRecord, Option<TraceDump>)> {
+    run_sweep_instrumented(name, sweep, threads)
+        .into_iter()
+        .map(|(record, trace, _)| (record, trace))
+        .collect()
 }
 
 /// Runs every trial of a sweep on `threads` workers and returns the
@@ -92,6 +112,7 @@ pub struct Harness {
     writer: Option<JsonLinesWriter>,
     csv_writer: Option<CsvWriter>,
     trace_writer: Option<JsonLinesWriter>,
+    timeline_writer: Option<JsonLinesWriter>,
     started: Stopwatch,
 }
 
@@ -116,12 +137,17 @@ impl Harness {
             JsonLinesWriter::create(path)
                 .unwrap_or_else(|e| panic!("cannot create --trace {}: {e}", path.display()))
         });
+        let timeline_writer = args.timeline.as_ref().map(|path| {
+            JsonLinesWriter::create(path)
+                .unwrap_or_else(|e| panic!("cannot create --timeline {}: {e}", path.display()))
+        });
         Harness {
             name,
             args,
             writer,
             csv_writer,
             trace_writer,
+            timeline_writer,
             started: Stopwatch::start(),
         }
     }
@@ -145,27 +171,36 @@ impl Harness {
         &self.args
     }
 
-    /// Runs one sweep: applies `--quick` (and, under `--trace`, enables
-    /// event tracing on every trial), executes on `--threads` workers,
-    /// appends every record to the `--json`/`--csv` streams and every
-    /// trial's event stream to the `--trace` stream, and returns the
-    /// records in grid order.
+    /// Runs one sweep: applies `--quick` (and, under `--trace` /
+    /// `--timeline`, enables the corresponding instrumentation on every
+    /// trial), executes on `--threads` workers, appends every record to
+    /// the `--json`/`--csv` streams, every trial's event stream to the
+    /// `--trace` stream, and every trial's window rows to the
+    /// `--timeline` stream, and returns the records in grid order.
     pub fn run(&mut self, sweep: Sweep) -> Vec<RunRecord> {
         let mut sweep = if self.args.quick {
             sweep.map_cfg(ClusterConfig::quick)
         } else {
             sweep
         };
-        if self.args.trace.is_some() {
-            let mut trace_cfg = ddp_core::TraceConfig::enabled();
+        if self.args.trace.is_some() || self.args.timeline.is_some() {
+            let mut trace_cfg = if self.args.trace.is_some() {
+                ddp_core::TraceConfig::enabled()
+            } else {
+                ddp_core::TraceConfig::default()
+            };
             if let Some(ns) = self.args.trace_sample {
                 trace_cfg = trace_cfg.with_sample_interval(ddp_sim::Duration::from_nanos(ns));
             }
+            if self.args.timeline.is_some() {
+                let ns = self.args.window_ns.unwrap_or(DEFAULT_WINDOW_NS);
+                trace_cfg = trace_cfg.with_timeline(ddp_sim::Duration::from_nanos(ns));
+            }
             sweep = sweep.map_cfg(|cfg| cfg.with_trace(trace_cfg));
         }
-        let results = run_sweep_traced(self.name, sweep, self.args.threads);
+        let results = run_sweep_instrumented(self.name, sweep, self.args.threads);
         let mut records = Vec::with_capacity(results.len());
-        for (record, dump) in results {
+        for (record, dump, timeline) in results {
             if let (Some(writer), Some(dump)) = (&mut self.trace_writer, dump) {
                 for event in &dump.events {
                     writer
@@ -175,6 +210,16 @@ impl Harness {
                 writer
                     .write_line(&trace_end_to_json(record.index, &record.label, &dump))
                     .expect("writing --trace trailer");
+            }
+            if let (Some(writer), Some(dump)) = (&mut self.timeline_writer, timeline) {
+                for (k, w) in dump.windows.iter().enumerate() {
+                    writer
+                        .write_line(&timeline_window_to_json(record.index, k, w))
+                        .expect("writing --timeline window");
+                }
+                writer
+                    .write_line(&timeline_end_to_json(record.index, &record.label, &dump))
+                    .expect("writing --timeline trailer");
             }
             records.push(record);
         }
@@ -229,6 +274,15 @@ impl Harness {
         }
     }
 
+    /// Writes one pre-serialized line to the `--timeline` stream (for
+    /// sweeps the facade does not run itself, such as fleet sweeps). A
+    /// no-op without `--timeline`.
+    pub fn emit_timeline_line(&mut self, json: &str) {
+        if let Some(writer) = &mut self.timeline_writer {
+            writer.write_line(json).expect("writing --timeline line");
+        }
+    }
+
     /// Flushes the output streams and reports the bin's total wall-clock
     /// to stderr.
     pub fn finish(mut self) {
@@ -254,6 +308,15 @@ impl Harness {
             writer.flush().expect("flushing --trace stream");
             eprintln!(
                 "[{}] wrote {} trace line(s) to {}",
+                self.name,
+                writer.lines(),
+                writer.path().display()
+            );
+        }
+        if let Some(writer) = &mut self.timeline_writer {
+            writer.flush().expect("flushing --timeline stream");
+            eprintln!(
+                "[{}] wrote {} timeline line(s) to {}",
                 self.name,
                 writer.lines(),
                 writer.path().display()

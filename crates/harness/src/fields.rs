@@ -92,6 +92,8 @@ pub fn record_fields(r: &RunRecord) -> Vec<(&'static str, FieldValue<'_>)> {
         ("mean_admission_queue", F64(s.mean_admission_queue)),
         ("max_admission_queue", U64(s.max_admission_queue)),
         ("mean_admission_wait_ns", F64(s.mean_admission_wait_ns)),
+        ("mean_nvm_bank_queue", F64(s.mean_nvm_bank_queue)),
+        ("max_nvm_bank_queue", U64(s.max_nvm_bank_queue)),
     ]
 }
 

@@ -9,7 +9,9 @@
 //! are pure simulation output written into index-keyed slots, so sweep
 //! output is byte-identical at any `--threads N`.
 
-use ddp_core::{DdpModel, FleetConfig, FleetSimulation, Placement, RunSummary, TraceDump};
+use ddp_core::{
+    DdpModel, FleetConfig, FleetSimulation, Placement, RunSummary, TimelineDump, TraceDump,
+};
 
 use crate::json::{json_f64, JsonObject};
 use crate::progress::run_pool;
@@ -188,16 +190,18 @@ fn f64_array(values: &[f64]) -> String {
 }
 
 /// Runs every fleet trial on `threads` workers and returns, in sweep
-/// order, each trial's record plus its drained per-shard trace dumps
-/// (empty unless the base config enabled event tracing). The sharded
-/// counterpart of [`run_sweep_traced`](crate::run_sweep_traced), with the
+/// order, each trial's record plus its drained per-shard trace and
+/// timeline dumps (empty unless the base config enabled them). The
+/// sharded counterpart of
+/// [`run_sweep_instrumented`](crate::run_sweep_instrumented), with the
 /// same determinism contract.
 #[must_use]
-pub fn run_fleet_sweep_traced(
+#[allow(clippy::type_complexity)]
+pub fn run_fleet_sweep_instrumented(
     name: &str,
     sweep: FleetSweep,
     threads: usize,
-) -> Vec<(FleetRecord, Vec<(u16, TraceDump)>)> {
+) -> Vec<(FleetRecord, Vec<(u16, TraceDump)>, Vec<(u16, TimelineDump)>)> {
     let trials = sweep.into_trials();
     let labels: Vec<String> = trials.iter().map(|t| t.label.clone()).collect();
     run_pool(name, "fleet trials", &labels, threads, |i| {
@@ -206,8 +210,22 @@ pub fn run_fleet_sweep_traced(
         sim.run();
         let record = FleetRecord::from_simulation(trial.index, trial.label.clone(), &mut sim);
         let traces = sim.take_traces();
-        (record, traces)
+        let timelines = sim.take_timelines();
+        (record, traces, timelines)
     })
+}
+
+/// [`run_fleet_sweep_instrumented`] without the timeline dumps.
+#[must_use]
+pub fn run_fleet_sweep_traced(
+    name: &str,
+    sweep: FleetSweep,
+    threads: usize,
+) -> Vec<(FleetRecord, Vec<(u16, TraceDump)>)> {
+    run_fleet_sweep_instrumented(name, sweep, threads)
+        .into_iter()
+        .map(|(record, traces, _)| (record, traces))
+        .collect()
 }
 
 /// [`run_fleet_sweep_traced`] without the trace dumps.

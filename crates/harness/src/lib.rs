@@ -20,8 +20,9 @@
 //!    build is offline; no serde) behind `--json PATH`, a CSV twin behind
 //!    `--csv PATH` that walks the same [`record_fields`] schema (the two
 //!    formats cannot drift), per-trial trace event streams behind
-//!    `--trace PATH` / `--trace-sample NS`, plus the table helpers every
-//!    figure prints through.
+//!    `--trace PATH` / `--trace-sample NS`, per-window timeline rows
+//!    behind `--timeline PATH` / `--window-ns NS`, plus the table helpers
+//!    every figure prints through.
 //!
 //! ```
 //! use ddp_core::{ClusterConfig, DdpModel};
@@ -52,15 +53,16 @@ pub mod record;
 pub mod seeds;
 pub mod sweep;
 pub mod table;
+pub mod timeline;
 pub mod trace;
 
 pub use args::{default_threads, HarnessArgs};
 pub use csv::{csv_header, escape_csv, record_to_csv, CsvWriter};
-pub use exec::{run_sweep, run_sweep_named, run_sweep_traced, Harness};
+pub use exec::{run_sweep, run_sweep_instrumented, run_sweep_named, run_sweep_traced, Harness};
 pub use fields::{record_fields, FieldValue};
 pub use fleet::{
-    fleet_record_to_json, run_fleet_sweep, run_fleet_sweep_traced, FleetRecord, FleetSweep,
-    FleetTrial,
+    fleet_record_to_json, run_fleet_sweep, run_fleet_sweep_instrumented, run_fleet_sweep_traced,
+    FleetRecord, FleetSweep, FleetTrial,
 };
 pub use json::{escape_json, json_f64, record_to_json, unescape_json, JsonLinesWriter, JsonObject};
 pub use progress::{available_threads, run_pool, Stopwatch};
@@ -71,6 +73,10 @@ pub use seeds::{
 };
 pub use sweep::{ModelGrid, Sweep, Trial};
 pub use table::{bar, normalized, print_row, print_rule, ratio};
+pub use timeline::{
+    fleet_timeline_end_to_json, fleet_timeline_window_to_json, timeline_end_to_json,
+    timeline_fields, timeline_window_to_json,
+};
 pub use trace::{
     fleet_trace_end_to_json, fleet_trace_event_to_json, trace_end_to_json, trace_event_to_json,
 };

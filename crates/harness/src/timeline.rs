@@ -1,0 +1,175 @@
+//! JSON-lines serialization of timeline dumps (`--timeline PATH`).
+//!
+//! One `timeline_window` line per `(trial, window)`, plus one closing
+//! `timeline_end` line per trial. Like the run-record schema in
+//! [`crate::fields`], the window columns come from ONE ordered field list
+//! ([`timeline_fields`]) so the `timeline-schema` audit invariant can
+//! check that every public [`TimelineWindow`] field is exported. Windows
+//! are written in trial-then-window order and contain only simulation
+//! output, so the stream is byte-identical at any `--threads N`.
+
+use ddp_core::{TimelineDump, TimelineWindow};
+
+use crate::fields::FieldValue;
+use crate::json::JsonObject;
+
+/// The ordered `(name, value)` column list of one timeline window — every
+/// public field of [`TimelineWindow`] plus the lag-histogram accessors.
+#[must_use]
+pub fn timeline_fields(w: &TimelineWindow) -> Vec<(&'static str, FieldValue<'_>)> {
+    use FieldValue::U64;
+    vec![
+        ("start_ns", U64(w.start_ns)),
+        ("reads_completed", U64(w.reads_completed)),
+        ("writes_completed", U64(w.writes_completed)),
+        ("ol_arrivals", U64(w.ol_arrivals)),
+        ("ol_rejections", U64(w.ol_rejections)),
+        ("ol_retries", U64(w.ol_retries)),
+        ("ol_shed", U64(w.ol_shed)),
+        ("persists_issued", U64(w.persists_issued)),
+        ("service_ns", U64(w.service_ns)),
+        ("queue_ns", U64(w.queue_ns)),
+        ("network_ns", U64(w.network_ns)),
+        ("persist_stall_ns", U64(w.persist_stall_ns)),
+        ("nvm_queue_ns", U64(w.nvm_queue_ns)),
+        ("read_stall_ns", U64(w.read_stall_ns)),
+        ("admission_queue", U64(w.admission_queue)),
+        ("in_flight", U64(w.in_flight)),
+        ("nvm_bank_queue", U64(w.nvm_bank_queue)),
+        ("lag_count", U64(w.lag_count())),
+        ("lag_p50_ns", U64(w.lag_p50_ns())),
+        ("lag_p99_ns", U64(w.lag_p99_ns())),
+        ("lag_max_ns", U64(w.lag_max_ns())),
+    ]
+}
+
+/// Serializes one timeline window as a single JSON object (one line of
+/// the `--timeline` stream). `trial` is the grid index of the run and
+/// `window` the window's position in the dump.
+#[must_use]
+pub fn timeline_window_to_json(trial: usize, window: usize, w: &TimelineWindow) -> String {
+    let mut o = JsonObject::new();
+    o.u64("trial", trial as u64);
+    o.str("kind", "timeline_window");
+    o.u64("window", window as u64);
+    for (name, value) in timeline_fields(w) {
+        match value {
+            FieldValue::U64(v) => o.u64(name, v),
+            FieldValue::F64(v) => o.f64(name, v),
+            FieldValue::Str(ref v) => o.str(name, v),
+            FieldValue::Pairs(_) => unreachable!("timeline fields are scalar"),
+        }
+    }
+    o.finish()
+}
+
+/// The closing line of one trial's timeline stream: window geometry and
+/// how many events were folded into the final window by the cap.
+#[must_use]
+pub fn timeline_end_to_json(trial: usize, label: &str, dump: &TimelineDump) -> String {
+    let mut o = JsonObject::new();
+    o.u64("trial", trial as u64);
+    o.str("kind", "timeline_end");
+    o.str("label", label);
+    o.u64("window_ns", dump.window_ns);
+    o.u64("origin_ns", dump.origin_ns);
+    o.u64("end_ns", dump.end_ns);
+    o.u64("windows", dump.windows.len() as u64);
+    o.u64("clipped", dump.clipped);
+    o.finish()
+}
+
+/// [`timeline_window_to_json`] for a sharded fleet trial: the same line
+/// with a leading `shard` field. The single-cluster serializer is
+/// untouched, so existing timeline streams stay byte-identical.
+#[must_use]
+pub fn fleet_timeline_window_to_json(
+    trial: usize,
+    shard: u16,
+    window: usize,
+    w: &TimelineWindow,
+) -> String {
+    let line = timeline_window_to_json(trial, window, w);
+    let rest = line
+        .strip_prefix('{')
+        .expect("timeline lines are JSON objects");
+    format!("{{\"shard\":{shard},{rest}")
+}
+
+/// [`timeline_end_to_json`] for a sharded fleet trial: one trailer per
+/// `(trial, shard)` stream, with a leading `shard` field.
+#[must_use]
+pub fn fleet_timeline_end_to_json(
+    trial: usize,
+    shard: u16,
+    label: &str,
+    dump: &TimelineDump,
+) -> String {
+    let line = timeline_end_to_json(trial, label, dump);
+    let rest = line
+        .strip_prefix('{')
+        .expect("timeline trailers are JSON objects");
+    format!("{{\"shard\":{shard},{rest}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddp_core::{ClusterConfig, DdpModel, Simulation, TraceConfig};
+    use ddp_sim::Duration;
+
+    fn dump() -> TimelineDump {
+        let mut cfg = ClusterConfig::micro21(DdpModel::baseline()).quick();
+        cfg.warmup_requests = 20;
+        cfg.measured_requests = 150;
+        cfg.trace = TraceConfig::default().with_timeline(Duration::from_micros(50));
+        let mut sim = Simulation::new(cfg);
+        sim.run();
+        sim.take_timeline().expect("timeline enabled")
+    }
+
+    #[test]
+    fn field_names_are_unique_and_cover_every_window_column() {
+        let dump = dump();
+        assert!(!dump.windows.is_empty(), "a run must fill windows");
+        let fields = timeline_fields(&dump.windows[0]);
+        let mut names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), fields.len(), "duplicate column name");
+    }
+
+    #[test]
+    fn window_lines_carry_identity_and_columns() {
+        let dump = dump();
+        let line = timeline_window_to_json(3, 1, &dump.windows[0]);
+        assert!(line.starts_with("{\"trial\":3,\"kind\":\"timeline_window\",\"window\":1,"));
+        for (name, _) in timeline_fields(&dump.windows[0]) {
+            assert!(line.contains(&format!("\"{name}\":")), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn end_lines_report_the_geometry() {
+        let dump = dump();
+        let line = timeline_end_to_json(0, "<Lin,Sync>", &dump);
+        assert!(line.contains("\"kind\":\"timeline_end\""), "{line}");
+        assert!(line.contains("\"window_ns\":50000"), "{line}");
+        assert!(
+            line.contains(&format!("\"windows\":{}", dump.windows.len())),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn fleet_lines_prepend_the_shard_and_change_nothing_else() {
+        let dump = dump();
+        let base = timeline_window_to_json(2, 0, &dump.windows[0]);
+        let sharded = fleet_timeline_window_to_json(2, 3, 0, &dump.windows[0]);
+        assert_eq!(sharded, format!("{{\"shard\":3,{}", &base[1..]));
+
+        let end = fleet_timeline_end_to_json(0, 1, "<Lin,Sync>", &dump);
+        assert!(end.starts_with("{\"shard\":1,\"trial\":0,"), "{end}");
+        assert!(end.contains("\"kind\":\"timeline_end\""), "{end}");
+    }
+}

@@ -74,6 +74,10 @@ pub fn trace_event_to_json(trial: usize, r: &TraceRecord) -> String {
             o.u64("retries", r.c);
             o.u64("rejections", r.d);
         }
+        TraceEventKind::NvmQueueSample => {
+            o.u64("bank_queued", r.a);
+            o.u64("nvm_inflight", r.b);
+        }
     }
     o.finish()
 }
@@ -160,6 +164,14 @@ mod tests {
                 && adm.contains("\"queued_arrivals\":42")
                 && adm.contains("\"rejections\":1"),
             "{adm}"
+        );
+
+        let nvm = trace_event_to_json(4, &rec(TraceEventKind::NvmQueueSample));
+        assert!(
+            nvm.contains("\"kind\":\"nvm_queue_sample\"")
+                && nvm.contains("\"bank_queued\":42")
+                && nvm.contains("\"nvm_inflight\":3"),
+            "{nvm}"
         );
     }
 

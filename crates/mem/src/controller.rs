@@ -96,6 +96,20 @@ impl MemoryController {
         self.nvm.pressure_at(now)
     }
 
+    /// Number of persists queued behind busy NVM banks at `now` (in
+    /// flight but not yet in service).
+    pub fn nvm_queued(&mut self, now: SimTime) -> usize {
+        self.nvm.queued(now)
+    }
+
+    /// Number of persists queued behind busy NVM banks at `now`,
+    /// read-only (no gauge updates, no pruning) — safe to call from
+    /// trace sampling.
+    #[must_use]
+    pub fn nvm_queued_at(&self, now: SimTime) -> usize {
+        self.nvm.queued_at(now)
+    }
+
     /// Direct access to the NVM device (statistics).
     #[must_use]
     pub fn nvm(&self) -> &BankedDevice {

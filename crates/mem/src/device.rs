@@ -46,8 +46,16 @@ pub struct BankedDevice {
     bank_free: Vec<SimTime>,
     /// Occupancy statistics: number of requests in flight.
     in_flight: LevelGauge,
-    /// Completion times of in-flight requests, kept sorted-ish for pruning.
-    completions: Vec<SimTime>,
+    /// Bank-queue statistics: requests waiting behind a busy bank (in
+    /// flight but not yet in service).
+    queue: LevelGauge,
+    /// Completion `(time, bank)` of in-flight requests, kept sorted-ish
+    /// for pruning.
+    completions: Vec<(SimTime, u32)>,
+    /// In-flight request count per bank (as of the last prune).
+    bank_inflight: Vec<u32>,
+    /// Number of banks with at least one request in flight.
+    busy_banks: usize,
     reads: u64,
     writes: u64,
     total_queue_wait: Duration,
@@ -61,7 +69,10 @@ impl BankedDevice {
             params,
             bank_free: vec![SimTime::ZERO; params.total_banks() as usize],
             in_flight: LevelGauge::new(),
+            queue: LevelGauge::new(),
             completions: Vec::new(),
+            bank_inflight: vec![0; params.total_banks() as usize],
+            busy_banks: 0,
             reads: 0,
             writes: 0,
             total_queue_wait: Duration::ZERO,
@@ -104,17 +115,34 @@ impl BankedDevice {
         let done = start + service;
         self.bank_free[bank] = done;
         self.in_flight.adjust(now, 1);
-        self.completions.push(done);
+        if self.bank_inflight[bank] == 0 {
+            self.busy_banks += 1;
+        }
+        self.bank_inflight[bank] += 1;
+        self.completions.push((done, bank as u32));
+        self.queue.set(now, self.queued_now() as u64);
         done
     }
 
     /// Drops bookkeeping for requests that completed before `now`.
     fn prune(&mut self, now: SimTime) {
         let before = self.completions.len();
-        self.completions.retain(|&c| c > now);
+        let bank_inflight = &mut self.bank_inflight;
+        let busy_banks = &mut self.busy_banks;
+        self.completions.retain(|&(c, bank)| {
+            if c > now {
+                return true;
+            }
+            bank_inflight[bank as usize] -= 1;
+            if bank_inflight[bank as usize] == 0 {
+                *busy_banks -= 1;
+            }
+            false
+        });
         let finished = before - self.completions.len();
         if finished > 0 {
             self.in_flight.adjust(now, -(finished as i64));
+            self.queue.set(now, self.queued_now() as u64);
         }
     }
 
@@ -129,7 +157,44 @@ impl BankedDevice {
     /// Used by trace sampling, which must be read-only.
     #[must_use]
     pub fn pressure_at(&self, now: SimTime) -> usize {
-        self.completions.iter().filter(|&&c| c > now).count()
+        self.completions.iter().filter(|&&(c, _)| c > now).count()
+    }
+
+    /// Requests queued behind a busy bank (in flight but not in service)
+    /// as of the last prune — exact immediately after a [`Self::submit`].
+    #[must_use]
+    pub fn queued_now(&self) -> usize {
+        // Each busy bank has exactly one request in service; the rest of
+        // its in-flight requests are queued.
+        self.completions.len() - self.busy_banks
+    }
+
+    /// Requests queued behind a busy bank at `now`, pruning first.
+    pub fn queued(&mut self, now: SimTime) -> usize {
+        self.prune(now);
+        self.queued_now()
+    }
+
+    /// Requests queued behind a busy bank at `now`, without touching any
+    /// bookkeeping. Used by trace sampling, which must be read-only.
+    /// Quadratic in the in-flight count, so keep it off hot paths.
+    #[must_use]
+    pub fn queued_at(&self, now: SimTime) -> usize {
+        let inflight = self.pressure_at(now);
+        // Count the distinct banks among in-flight requests: each
+        // contributes exactly one request in service.
+        let busy = self
+            .completions
+            .iter()
+            .enumerate()
+            .filter(|&(i, &(c, bank))| {
+                c > now
+                    && !self.completions[..i]
+                        .iter()
+                        .any(|&(c2, bank2)| c2 > now && bank2 == bank)
+            })
+            .count();
+        inflight - busy
     }
 
     /// The earliest time at which every request submitted so far has
@@ -164,6 +229,13 @@ impl BankedDevice {
     #[must_use]
     pub fn occupancy(&self) -> &LevelGauge {
         &self.in_flight
+    }
+
+    /// Bank-queue gauge (max and time-weighted mean requests queued
+    /// behind busy banks). Updated at submit and prune times.
+    #[must_use]
+    pub fn bank_queue(&self) -> &LevelGauge {
+        &self.queue
     }
 }
 
@@ -248,6 +320,43 @@ mod tests {
         d.submit(SimTime::ZERO, 0, 64, AccessKind::Write);
         assert_eq!(d.read_count(), 1);
         assert_eq!(d.write_count(), 2);
+    }
+
+    #[test]
+    fn queued_counts_requests_behind_busy_banks() {
+        let mut d = nvm();
+        assert_eq!(d.queued_now(), 0);
+        // Three same-bank writes: one in service, two queued.
+        for _ in 0..3 {
+            d.submit(SimTime::ZERO, 0x40, 64, AccessKind::Write);
+        }
+        assert_eq!(d.queued_now(), 2);
+        assert_eq!(d.queued_at(SimTime::ZERO), 2);
+        assert_eq!(d.bank_queue().current(), 2);
+        assert_eq!(d.bank_queue().max(), 2);
+        // A write to a different bank is in service immediately.
+        let mut addr2 = 0x80;
+        while d.bank_for(addr2) == d.bank_for(0x40) {
+            addr2 += 0x40;
+        }
+        d.submit(SimTime::ZERO, addr2, 64, AccessKind::Write);
+        assert_eq!(d.queued_now(), 2);
+        // Once everything drains, nothing is queued.
+        let drain = d.drain_time();
+        assert_eq!(d.queued(drain), 0);
+        assert_eq!(d.queued_at(drain), 0);
+        assert_eq!(d.bank_queue().current(), 0);
+    }
+
+    #[test]
+    fn queued_at_is_read_only_and_time_accurate() {
+        let mut d = nvm();
+        let first = d.submit(SimTime::ZERO, 0x40, 64, AccessKind::Write);
+        d.submit(SimTime::ZERO, 0x40, 64, AccessKind::Write);
+        // After the first completes, the second is in service: queue
+        // empty even though no prune has run.
+        assert_eq!(d.queued_at(first), 0);
+        assert_eq!(d.queued_now(), 1, "no bookkeeping was touched");
     }
 
     #[test]

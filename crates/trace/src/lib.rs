@@ -19,6 +19,11 @@
 //! * [`SampleClock`] — fixed-interval gauge sampling evaluated *lazily*
 //!   at event-dispatch boundaries, so sampling never injects events into
 //!   the simulation (timestamps and results stay bit-identical).
+//! * [`Timeline`] — a windowed metrics aggregator: fixed sim-time
+//!   windows, each accumulating throughput, shed/retry counts, the
+//!   per-phase latency breakdown, VP→DP lag percentiles, and close-of-
+//!   window gauge snapshots — the time-resolved view that explains
+//!   *when* a run saturates.
 //!
 //! The tracer is strictly read-only with respect to the simulation: it
 //! never schedules events or mutates protocol state, so enabling it
@@ -31,11 +36,13 @@ mod lifecycle;
 mod phase;
 mod record;
 mod ring;
+mod timeline;
 
 pub use lifecycle::{OpenWrite, WriteLifecycles};
 pub use phase::{PhaseAccum, PhaseBreakdown};
 pub use record::{StallCause, TraceEventKind, TraceRecord};
 pub use ring::{TraceDump, Tracer};
+pub use timeline::{Timeline, TimelineDump, TimelineWindow};
 
 use ddp_sim::Duration;
 
@@ -51,6 +58,12 @@ pub struct TraceConfig {
     /// Emit gauge samples every this often (simulated time); `None`
     /// disables sampling.
     pub sample_interval: Option<Duration>,
+    /// Aggregate a windowed metrics [`Timeline`] with this window width;
+    /// `None` disables the timeline.
+    pub timeline_window: Option<Duration>,
+    /// Maximum timeline windows kept per run (later events fold into the
+    /// final window and are counted as clipped).
+    pub timeline_max_windows: usize,
 }
 
 impl Default for TraceConfig {
@@ -59,6 +72,8 @@ impl Default for TraceConfig {
             events: false,
             ring_capacity: 1 << 20,
             sample_interval: None,
+            timeline_window: None,
+            timeline_max_windows: 1 << 12,
         }
     }
 }
@@ -78,6 +93,23 @@ impl TraceConfig {
     pub fn with_sample_interval(mut self, interval: Duration) -> Self {
         self.sample_interval = Some(interval);
         self
+    }
+
+    /// Builder: enables the windowed metrics timeline.
+    #[must_use]
+    pub fn with_timeline(mut self, window: Duration) -> Self {
+        self.timeline_window = Some(window);
+        self
+    }
+
+    /// The timeline this configuration asks for (disabled when
+    /// `timeline_window` is `None`).
+    #[must_use]
+    pub fn build_timeline(&self) -> Timeline {
+        match self.timeline_window {
+            Some(window) => Timeline::new(window, self.timeline_max_windows),
+            None => Timeline::disabled(),
+        }
     }
 }
 
@@ -133,7 +165,16 @@ mod tests {
         let cfg = TraceConfig::default();
         assert!(!cfg.events);
         assert!(cfg.sample_interval.is_none());
+        assert!(cfg.timeline_window.is_none());
+        assert!(!cfg.build_timeline().is_enabled());
         assert!(cfg.ring_capacity > 0);
+        assert!(cfg.timeline_max_windows > 0);
+    }
+
+    #[test]
+    fn with_timeline_builds_an_enabled_timeline() {
+        let cfg = TraceConfig::default().with_timeline(Duration::from_nanos(500));
+        assert!(cfg.build_timeline().is_enabled());
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub enum TraceEventKind {
     /// `c`=retries scheduled in the measured window, `d`=rejections in
     /// the measured window).
     AdmissionSample = 12,
+    /// A fixed-interval NVM bank-queue sample (`a`=requests queued behind
+    /// busy NVM banks across all nodes, `b`=persists in flight across all
+    /// nodes).
+    NvmQueueSample = 13,
 }
 
 impl TraceEventKind {
@@ -70,6 +74,7 @@ impl TraceEventKind {
             TraceEventKind::StallEnd => "stall_end",
             TraceEventKind::Sample => "sample",
             TraceEventKind::AdmissionSample => "admission_sample",
+            TraceEventKind::NvmQueueSample => "nvm_queue_sample",
         }
     }
 }
@@ -166,6 +171,7 @@ mod tests {
             TraceEventKind::StallEnd,
             TraceEventKind::Sample,
             TraceEventKind::AdmissionSample,
+            TraceEventKind::NvmQueueSample,
         ];
         let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         names.sort_unstable();

@@ -252,6 +252,34 @@ fn summary_schema_fixture() {
 }
 
 #[test]
+fn timeline_schema_fixture() {
+    let window = SourceFile::new(
+        "crates/trace/src/timeline.rs",
+        "pub struct TimelineWindow { pub start_ns: u64, pub dropped: u64, lag: Histogram }",
+    );
+    let fields = SourceFile::new(
+        "crates/harness/src/timeline.rs",
+        r#"pub fn timeline_fields() { vec![("start_ns", 0)]; }"#,
+    );
+    let findings = audit(&[window, fields]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, "timeline-schema");
+    assert!(findings[0].message.contains("dropped"));
+
+    // Negative: every pub field exported (the private lag histogram
+    // needs no column) → clean.
+    let window = SourceFile::new(
+        "crates/trace/src/timeline.rs",
+        "pub struct TimelineWindow { pub start_ns: u64, pub dropped: u64, lag: Histogram }",
+    );
+    let fields = SourceFile::new(
+        "crates/harness/src/timeline.rs",
+        r#"pub fn timeline_fields() { vec![("start_ns", 0), ("dropped", 1)]; }"#,
+    );
+    assert!(audit(&[window, fields]).is_empty());
+}
+
+#[test]
 fn trace_discriminants_fixture() {
     let bad = one(
         "crates/trace/src/record.rs",
@@ -304,6 +332,27 @@ fn deleting_a_serialized_field_fails_the_audit() {
             .iter()
             .any(|f| f.lint == "summary-schema" && f.message.contains("throughput")),
         "dropping a record_fields export must trip summary-schema: {findings:?}"
+    );
+}
+
+#[test]
+fn deleting_a_timeline_column_fails_the_audit() {
+    let mut files = ddp_audit::load_workspace(workspace_root()).expect("workspace walk");
+    let fields = files
+        .iter_mut()
+        .find(|f| f.path == "crates/harness/src/timeline.rs")
+        .expect("timeline.rs in workspace");
+    let mutated = fields
+        .text
+        .replace("(\"nvm_bank_queue\", U64(w.nvm_bank_queue)),", "");
+    assert_ne!(mutated, fields.text, "mutation must remove the column line");
+    fields.text = mutated;
+    let findings = audit(&files);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint == "timeline-schema" && f.message.contains("nvm_bank_queue")),
+        "dropping a timeline_fields column must trip timeline-schema: {findings:?}"
     );
 }
 
