@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ddp_sim::SimRng;
-use ddp_store::{AvlMap, BPlusTree, BTree, HashTable, KvStore, SlabCache};
+use ddp_store::{AvlMap, BPlusTree, BTree, HashTable, KvStore, LsmStore, SlabCache};
 
 const OPS: usize = 10_000;
 const KEYS: u64 = 10_000;
@@ -41,6 +41,10 @@ fn stores(c: &mut Criterion) {
     group.bench_function("memcached", |b| {
         let mut rng = SimRng::seed_from(1);
         b.iter(|| mixed_workout(&mut SlabCache::with_capacity_bytes(1 << 24), &mut rng));
+    });
+    group.bench_function("lsm", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| mixed_workout(&mut LsmStore::new(), &mut rng));
     });
     group.finish();
 }

@@ -153,6 +153,71 @@ impl Default for FaultPlan {
     }
 }
 
+/// Tuning for the LSM store tier's simulated background compaction.
+///
+/// Only consulted when [`ClusterConfig::store`] is [`StoreKind::Lsm`]: for
+/// every other backend the configuration is inert and the event stream is
+/// bit-identical to one that predates the LSM tier. When the LSM store is
+/// selected, memtable seals and level merges are scheduled as engine events
+/// whose byte volume consumes NVM bank bandwidth, so foreground persists
+/// queue behind compaction bursts.
+///
+/// # Examples
+///
+/// ```
+/// use ddp_core::CompactionConfig;
+///
+/// let cc = CompactionConfig::default();
+/// assert!(cc.validate().is_ok());
+/// assert_eq!(cc.fanout, 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionConfig {
+    /// Memtable entries buffered before a seal flushes them to level 0.
+    pub memtable_entries: u32,
+    /// Batches per level before they merge into the next level.
+    pub fanout: u32,
+    /// NVM bytes written per sealed or merged entry (key + value + batch
+    /// metadata amortised).
+    pub entry_bytes: u64,
+    /// Compaction writes stripe across NVM banks in chunks of this size.
+    pub chunk_bytes: u64,
+}
+
+impl CompactionConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.memtable_entries == 0 {
+            return Err("compaction memtable_entries must be positive".into());
+        }
+        if self.fanout < 2 {
+            return Err("compaction fanout must be at least 2".into());
+        }
+        if self.entry_bytes == 0 {
+            return Err("compaction entry_bytes must be positive".into());
+        }
+        if self.chunk_bytes == 0 {
+            return Err("compaction chunk_bytes must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig {
+            memtable_entries: 256,
+            fanout: 4,
+            entry_bytes: 64,
+            chunk_bytes: 256,
+        }
+    }
+}
+
 /// Bursty-traffic shape for an open-loop run: the arrival stream alternates
 /// between a quiet and a burst phase (two-state MMPP), keeping the requested
 /// long-run mean rate.
@@ -351,6 +416,9 @@ pub struct ClusterConfig {
     pub open_loop: Option<OpenLoopPlan>,
     /// Fault-injection plan; inert by default.
     pub faults: FaultPlan,
+    /// LSM compaction tuning; only consulted when `store` is
+    /// [`StoreKind::Lsm`], inert otherwise.
+    pub compaction: CompactionConfig,
     /// Event tracing and gauge sampling; inert by default. The tracer is
     /// read-only: enabling it changes the trace output and nothing else.
     pub trace: TraceConfig,
@@ -382,6 +450,7 @@ impl ClusterConfig {
             record_observations: false,
             open_loop: None,
             faults: FaultPlan::none(),
+            compaction: CompactionConfig::default(),
             trace: TraceConfig::default(),
         }
     }
@@ -457,6 +526,14 @@ impl ClusterConfig {
         self
     }
 
+    /// Overrides the LSM compaction tuning (no effect unless the store is
+    /// [`StoreKind::Lsm`]).
+    #[must_use]
+    pub fn with_compaction(mut self, compaction: CompactionConfig) -> Self {
+        self.compaction = compaction;
+        self
+    }
+
     /// Enables fabric message loss (and an equal duplication rate, which
     /// stresses the same retransmission machinery from the other side).
     #[must_use]
@@ -506,6 +583,9 @@ impl ClusterConfig {
             }
         }
         self.faults.validate(self.nodes)?;
+        self.compaction
+            .validate()
+            .map_err(|e| format!("compaction: {e}"))?;
         if self.faults.active() && self.nodes > 64 {
             return Err("fault injection supports at most 64 nodes (ACK bitmasks)".into());
         }
@@ -628,6 +708,39 @@ mod tests {
         let bursty = OpenLoopPlan::poisson(5e5).with_burst(3.0, Duration::from_micros(20));
         let p = bursty.arrival_process();
         assert!((p.mean_rate() - 5e5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compaction_defaults_validate_and_bad_tunings_are_rejected() {
+        let cfg = ClusterConfig::micro21(DdpModel::baseline());
+        assert_eq!(cfg.compaction, CompactionConfig::default());
+        assert!(cfg.validate().is_ok());
+
+        let mut bad = ClusterConfig::micro21(DdpModel::baseline());
+        bad.compaction.memtable_entries = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = ClusterConfig::micro21(DdpModel::baseline());
+        bad.compaction.fanout = 1;
+        assert!(bad.validate().is_err());
+
+        let mut bad = ClusterConfig::micro21(DdpModel::baseline());
+        bad.compaction.entry_bytes = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = ClusterConfig::micro21(DdpModel::baseline());
+        bad.compaction.chunk_bytes = 0;
+        assert!(bad.validate().is_err());
+
+        let tuned =
+            ClusterConfig::micro21(DdpModel::baseline()).with_compaction(CompactionConfig {
+                memtable_entries: 16,
+                fanout: 2,
+                entry_bytes: 32,
+                chunk_bytes: 64,
+            });
+        assert_eq!(tuned.compaction.memtable_entries, 16);
+        assert!(tuned.validate().is_ok());
     }
 
     #[test]

@@ -362,10 +362,10 @@ pub struct FleetReport {
     /// The key→shard placement used.
     pub placement: Placement,
     /// Fleet-wide summary: pooled histograms and counters over the union
-    /// of the shards' measured windows. The six gauge-derived occupancy
+    /// of the shards' measured windows. The eight gauge-derived occupancy
     /// fields (`mean/max_buffered_writes`, `mean/max_admission_queue`,
-    /// `mean/max_nvm_bank_queue`) are sums of the per-shard values, since
-    /// time-weighted gauges do not pool.
+    /// `mean/max_nvm_bank_queue`, `mean/max_active_compactions`) are sums
+    /// of the per-shard values, since time-weighted gauges do not pool.
     pub aggregate: RunSummary,
     /// Each shard's own summary, indexed by shard.
     pub per_shard: Vec<RunSummary>,
@@ -479,6 +479,7 @@ impl FleetSimulation {
                 shard.stats.causal_buffered.finish(end);
                 shard.stats.admission_queue.finish(end);
                 shard.stats.nvm_bank_queue.finish(end);
+                shard.stats.compactions_active.finish(end);
                 shard.finish_timeline(end);
                 shard.stats.measured_time = end.saturating_since(shard.stats.window_start);
             }
@@ -529,6 +530,9 @@ impl FleetSimulation {
         aggregate.max_admission_queue = per_shard.iter().map(|s| s.max_admission_queue).sum();
         aggregate.mean_nvm_bank_queue = per_shard.iter().map(|s| s.mean_nvm_bank_queue).sum();
         aggregate.max_nvm_bank_queue = per_shard.iter().map(|s| s.max_nvm_bank_queue).sum();
+        aggregate.mean_active_compactions =
+            per_shard.iter().map(|s| s.mean_active_compactions).sum();
+        aggregate.max_active_compactions = per_shard.iter().map(|s| s.max_active_compactions).sum();
 
         let total: u64 = shard_completed.iter().sum();
         let imbalance = if total == 0 {

@@ -67,7 +67,9 @@ pub mod traits_table;
 
 pub use cauhist::VectorClock;
 pub use checker::{CheckOutcome, HistoryChecker};
-pub use config::{BurstProfile, ClusterConfig, CrashEvent, FaultPlan, OpenLoopPlan};
+pub use config::{
+    BurstProfile, ClusterConfig, CompactionConfig, CrashEvent, FaultPlan, OpenLoopPlan,
+};
 pub use failure::{crash_snapshot, ClusterSnapshot, NodeImage};
 pub use fleet::{
     run_fleet, shard_seed, Fleet, FleetConfig, FleetEvent, FleetReport, FleetSimulation,
@@ -88,6 +90,10 @@ pub use traits_table::{Level, ModelTraits};
 // Re-exported so harnesses and tests can route sharded fleets without
 // depending on `ddp-workload` directly.
 pub use ddp_workload::{Placement, ShardRouter, ShardSlice};
+
+// Re-exported so the harness can parse `--store` without depending on
+// `ddp-store` directly.
+pub use ddp_store::StoreKind;
 
 // Re-exported so harnesses and tests can configure and consume tracing
 // without depending on `ddp-trace` directly.

@@ -451,6 +451,17 @@ impl Cluster {
         self.node_epoch[node.index()] += 1;
         self.stats.crashes.push((node.0, ctx.now()));
 
+        // In-flight compactions died with the node's background workers;
+        // their CompactionDone events carry the old epoch and are dropped
+        // at dispatch, so settle the gauge here.
+        if self.lsm_active && self.compactions_per_node[node.index()] > 0 {
+            self.compactions_total -= self.compactions_per_node[node.index()];
+            self.compactions_per_node[node.index()] = 0;
+            self.stats
+                .compactions_active
+                .set(ctx.now(), self.compactions_total);
+        }
+
         // Capture the NVM image: the per-key durable version, exactly what
         // `crash_snapshot` would report for this node.
         let mut image = NodeImage::default();

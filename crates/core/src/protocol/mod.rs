@@ -34,7 +34,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use ddp_mem::MemoryController;
 use ddp_net::{Fabric, FaultProfile, NodeId, RdmaKind};
 use ddp_sim::{Context, Duration, Engine, Model, SimTime};
-use ddp_store::Key;
+use ddp_store::{Key, LsmWork, StoreKind};
 use ddp_workload::{ClientId, ClientPool, Request};
 
 use crate::cauhist::VectorClock;
@@ -80,6 +80,9 @@ pub enum Event {
     Deliver(NodeId, Message),
     /// An NVM persist completes at a node.
     PersistDone(NodeId, PersistCtx),
+    /// An LSM background compaction (memtable seal or level merge)
+    /// finishes its NVM writes at a node (LSM store tier only).
+    CompactionDone(NodeId, CompactionCtx),
     /// An Eventual-consistency coordinator sends its delayed UPD broadcast.
     LazyPropagate(NodeId, u64),
     /// An Eventual-persistency node starts a background persist.
@@ -185,6 +188,20 @@ pub struct PersistCtx {
     pub purpose: PersistPurpose,
     /// Crash epoch of the node when the persist was issued; completions
     /// from before a crash are stale and dropped.
+    pub epoch: u64,
+}
+
+/// Context of an in-flight LSM background compaction.
+#[derive(Clone, Copy, Debug)]
+#[doc(hidden)]
+pub struct CompactionCtx {
+    /// 0 for a memtable seal; `level + 1` for a merge out of `level`.
+    pub kind: u64,
+    /// NVM bytes the compaction wrote.
+    pub bytes: u64,
+    /// Crash epoch of the node when the compaction was scheduled;
+    /// completions from before a crash are stale and dropped (the crash
+    /// path already zeroed the node's active-compaction count).
     pub epoch: u64,
 }
 
@@ -387,7 +404,11 @@ impl NodeState {
         let _ = id;
         NodeState {
             mem: MemoryController::new(cfg.memory),
-            store: ReplicaStore::new(cfg.store),
+            store: ReplicaStore::with_compaction(
+                cfg.store,
+                cfg.compaction.memtable_entries as usize,
+                cfg.compaction.fanout as usize,
+            ),
             applied_vc: VectorClock::new(n),
             history_vc: VectorClock::new(n),
             next_seq: 0,
@@ -565,6 +586,20 @@ pub struct Cluster {
     pub(crate) nvm_queued_level: Vec<u64>,
     /// Sum of `nvm_queued_level` (the cluster gauge's current level).
     pub(crate) nvm_queued_total: u64,
+    /// Cached `cfg.store == StoreKind::Lsm`: arms compaction scheduling.
+    /// Every other backend never produces work, so the drain hook is one
+    /// predictable branch and their event streams predate the LSM tier
+    /// bit-for-bit.
+    pub(crate) lsm_active: bool,
+    /// In-flight background compactions per node.
+    pub(crate) compactions_per_node: Vec<u64>,
+    /// Sum of `compactions_per_node` (the `compactions_active` gauge's
+    /// current level).
+    pub(crate) compactions_total: u64,
+    /// Per-node output-address cursor for compaction writes: advances per
+    /// compaction so consecutive bursts start on different NVM banks,
+    /// deterministically.
+    pub(crate) compaction_cursor: Vec<u64>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -631,6 +666,10 @@ impl Cluster {
             timeline: cfg.trace.build_timeline(),
             nvm_queued_level: vec![0; n],
             nvm_queued_total: 0,
+            lsm_active: cfg.store == StoreKind::Lsm,
+            compactions_per_node: vec![0; n],
+            compactions_total: 0,
+            compaction_cursor: vec![0; n],
             cfg,
         }
     }
@@ -771,7 +810,8 @@ impl Cluster {
                 .iter()
                 .map(|n| n.mem.nvm_queued_at(boundary) as u64)
                 .sum();
-            self.timeline.snapshot(at_ns, adm, busy, nvm);
+            self.timeline
+                .snapshot(at_ns, adm, busy, nvm, self.compactions_total);
         }
     }
 
@@ -792,7 +832,8 @@ impl Cluster {
             .iter()
             .map(|n| n.mem.nvm_queued_at(now) as u64)
             .sum();
-        self.timeline.finish(now.as_nanos(), adm, busy, nvm);
+        self.timeline
+            .finish(now.as_nanos(), adm, busy, nvm, self.compactions_total);
     }
 
     /// Records one trace event stamped at `ctx.now()`.
@@ -949,6 +990,112 @@ impl Cluster {
         done
     }
 
+    /// Drains any seal/merge work the LSM stores produced during this
+    /// dispatch, charging each item's byte volume against the owning
+    /// node's NVM banks as a background write and scheduling its
+    /// completion event.
+    ///
+    /// Called at the bottom of every event dispatch. One predictable
+    /// branch unless the store tier is [`StoreKind::Lsm`] — no other
+    /// backend ever produces work, so their event streams are
+    /// bit-identical to builds that predate the LSM tier.
+    pub(crate) fn drain_compaction_work(&mut self, ctx: &mut Context<'_, Event>) {
+        if !self.lsm_active {
+            return;
+        }
+        let now = ctx.now();
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].store.has_compaction_work() {
+                continue;
+            }
+            for item in self.nodes[i].store.take_compaction_work() {
+                self.schedule_compaction(ctx, NodeId(i as u8), now, &item);
+            }
+        }
+    }
+
+    /// Schedules one compaction work item: traces it, counts it, writes
+    /// its bytes to the node's NVM as a bank-consuming background burst,
+    /// and schedules the matching [`Event::CompactionDone`].
+    fn schedule_compaction(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        now: SimTime,
+        item: &LsmWork,
+    ) {
+        let cc = self.cfg.compaction;
+        let bytes = item.entries().saturating_mul(cc.entry_bytes);
+        let kind = match item {
+            LsmWork::Seal { .. } => {
+                if self.measuring {
+                    self.stats.lsm_seals += 1;
+                }
+                0
+            }
+            LsmWork::Merge { level, .. } => {
+                if self.measuring {
+                    self.stats.lsm_merges += 1;
+                }
+                u64::from(level + 1)
+            }
+        };
+        if self.measuring {
+            self.stats.compaction_bytes += bytes;
+            self.timeline.compaction(now.as_nanos(), bytes);
+        }
+        self.trace(
+            ctx,
+            TraceEventKind::CompactionBegin,
+            node.0,
+            kind,
+            item.entries(),
+            bytes,
+        );
+        let i = node.index();
+        // Output lands at a per-node cursor so consecutive bursts start
+        // on different banks.
+        let addr = self.compaction_cursor[i] << 6;
+        self.compaction_cursor[i] = self.compaction_cursor[i].wrapping_add(1);
+        let done = self.nodes[i]
+            .mem
+            .compact_write(now, addr, bytes, cc.chunk_bytes);
+        self.compactions_per_node[i] += 1;
+        self.compactions_total += 1;
+        self.stats
+            .compactions_active
+            .set(now, self.compactions_total);
+        let cctx = CompactionCtx {
+            kind,
+            bytes,
+            epoch: self.node_epoch[i],
+        };
+        ctx.schedule_at(done, Event::CompactionDone(node, cctx));
+    }
+
+    /// A background compaction finished its NVM writes.
+    pub(crate) fn on_compaction_done(
+        &mut self,
+        ctx: &mut Context<'_, Event>,
+        node: NodeId,
+        cctx: CompactionCtx,
+    ) {
+        let i = node.index();
+        self.compactions_per_node[i] -= 1;
+        self.compactions_total -= 1;
+        self.stats
+            .compactions_active
+            .set(ctx.now(), self.compactions_total);
+        self.trace(
+            ctx,
+            TraceEventKind::CompactionEnd,
+            node.0,
+            cctx.kind,
+            0,
+            cctx.bytes,
+        );
+    }
+
     /// Drains the trace event ring, if event tracing is enabled.
     pub fn take_trace(&mut self) -> Option<TraceDump> {
         if self.cfg.trace.events {
@@ -1032,6 +1179,14 @@ impl Model for Cluster {
                 }
                 self.on_persist_done(ctx, node, pctx);
             }
+            Event::CompactionDone(node, cctx) => {
+                if cctx.epoch != self.node_epoch[node.index()] {
+                    // Scheduled before the node's crash, which already
+                    // zeroed its active-compaction count.
+                    return;
+                }
+                self.on_compaction_done(ctx, node, cctx);
+            }
             Event::LazyPropagate(node, seq) => {
                 if self.faults_active && !self.node_up[node.index()] {
                     return;
@@ -1083,6 +1238,11 @@ impl Model for Cluster {
             Event::NodeCrash(node) => self.on_node_crash(ctx, node),
             Event::NodeRecover(node) => self.on_node_recover(ctx, node),
         }
+        // Store mutations during this dispatch may have produced LSM seal
+        // or merge work; replay it against the NVM banks before the next
+        // event. (Early `return`s above skip this, but none of those
+        // paths touch a store.)
+        self.drain_compaction_work(ctx);
     }
 }
 
@@ -1160,6 +1320,7 @@ impl Simulation {
             self.cluster.stats.causal_buffered.finish(now);
             self.cluster.stats.admission_queue.finish(now);
             self.cluster.stats.nvm_bank_queue.finish(now);
+            self.cluster.stats.compactions_active.finish(now);
             self.cluster.finish_timeline(now);
             self.cluster.stats.measured_time =
                 now.saturating_since(self.cluster.stats.window_start);

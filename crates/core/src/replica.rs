@@ -1,7 +1,8 @@
 //! Per-node replica state: what each node knows about each key.
 
 use ddp_store::{
-    AvlMap, BPlusTree, BTree, HashTable, Key, KvStore, SlabCache, SlabSized, StoreKind,
+    AvlMap, BPlusTree, BTree, HashTable, Key, KvStore, LsmStore, LsmWork, SlabCache, SlabSized,
+    StoreKind,
 };
 
 use crate::message::WriteId;
@@ -76,12 +77,28 @@ pub enum ReplicaStore {
     /// Memcached-like slab cache backend (sized to the node's NVM so
     /// protocol state never evicts).
     Memcached(SlabCache<KeyState>),
+    /// Log-structured merge backend: writes buffer in a memtable sealing
+    /// into sorted batches, whose merges the simulator replays as NVM
+    /// background traffic.
+    Lsm(LsmStore<KeyState>),
 }
 
 impl ReplicaStore {
-    /// Creates an empty replica store over the chosen backend.
+    /// Creates an empty replica store over the chosen backend (LSM stores
+    /// take the default seal/merge thresholds).
     #[must_use]
     pub fn new(kind: StoreKind) -> Self {
+        Self::with_compaction(
+            kind,
+            ddp_store::DEFAULT_MEMTABLE_ENTRIES,
+            ddp_store::DEFAULT_FANOUT,
+        )
+    }
+
+    /// Creates an empty replica store with explicit LSM thresholds; every
+    /// other backend ignores them.
+    #[must_use]
+    pub fn with_compaction(kind: StoreKind, memtable_entries: usize, fanout: usize) -> Self {
         match kind {
             StoreKind::HashTable => ReplicaStore::Hash(HashTable::new()),
             StoreKind::Map => ReplicaStore::Map(AvlMap::new()),
@@ -91,6 +108,9 @@ impl ReplicaStore {
             // protocol state, so the cache behaves as a plain hash store.
             StoreKind::Memcached => {
                 ReplicaStore::Memcached(SlabCache::with_capacity_bytes(1 << 36))
+            }
+            StoreKind::Lsm => {
+                ReplicaStore::Lsm(LsmStore::with_thresholds(memtable_entries, fanout))
             }
         }
     }
@@ -102,6 +122,7 @@ impl ReplicaStore {
             ReplicaStore::BTree(s) => s,
             ReplicaStore::BPlus(s) => s,
             ReplicaStore::Memcached(s) => s,
+            ReplicaStore::Lsm(s) => s,
         }
     }
 
@@ -112,6 +133,25 @@ impl ReplicaStore {
             ReplicaStore::BTree(s) => s,
             ReplicaStore::BPlus(s) => s,
             ReplicaStore::Memcached(s) => s,
+            ReplicaStore::Lsm(s) => s,
+        }
+    }
+
+    /// Drains the LSM backend's pending seal/merge work items; empty for
+    /// every other backend.
+    pub fn take_compaction_work(&mut self) -> Vec<LsmWork> {
+        match self {
+            ReplicaStore::Lsm(s) => s.take_work(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// True if the LSM backend has unscheduled seal/merge work.
+    #[must_use]
+    pub fn has_compaction_work(&self) -> bool {
+        match self {
+            ReplicaStore::Lsm(s) => s.has_work(),
+            _ => false,
         }
     }
 
@@ -154,7 +194,7 @@ mod tests {
 
     #[test]
     fn all_backends_round_trip_state() {
-        for kind in StoreKind::ALL {
+        for kind in StoreKind::ALL.into_iter().chain([StoreKind::Lsm]) {
             let mut rs = ReplicaStore::new(kind);
             for k in 0..200u64 {
                 let st = rs.state_mut(k);
@@ -168,6 +208,26 @@ mod tests {
             }
             assert_eq!(rs.len(), 200, "{kind}: len");
         }
+    }
+
+    #[test]
+    fn lsm_backend_surfaces_compaction_work_and_others_stay_quiet() {
+        let mut lsm = ReplicaStore::with_compaction(StoreKind::Lsm, 4, 2);
+        for k in 0..32u64 {
+            lsm.state_mut(k).visible = k + 1;
+        }
+        assert!(lsm.has_compaction_work());
+        let work = lsm.take_compaction_work();
+        assert!(!work.is_empty());
+        assert!(work.iter().any(|w| matches!(w, LsmWork::Seal { .. })));
+        assert!(!lsm.has_compaction_work());
+
+        let mut hash = ReplicaStore::with_compaction(StoreKind::HashTable, 4, 2);
+        for k in 0..32u64 {
+            hash.state_mut(k).visible = k + 1;
+        }
+        assert!(!hash.has_compaction_work());
+        assert!(hash.take_compaction_work().is_empty());
     }
 
     #[test]

@@ -94,6 +94,15 @@ pub struct RunStats {
     /// NVM bank-queue depth (persists in flight but not yet in service)
     /// across all nodes, sampled at persist issue/completion times.
     pub nvm_bank_queue: LevelGauge,
+    /// Memtable seals scheduled by the LSM store tier (zero unless the
+    /// store is `StoreKind::Lsm`, like every compaction field below).
+    pub lsm_seals: u64,
+    /// Level merges scheduled by the LSM store tier.
+    pub lsm_merges: u64,
+    /// NVM bytes written by background compaction (seals + merges).
+    pub compaction_bytes: u64,
+    /// In-flight background compactions across all nodes, over time.
+    pub compactions_active: LevelGauge,
 }
 
 impl RunStats {
@@ -157,11 +166,11 @@ impl RunStats {
     /// `measured_time` = latest end minus that start), and fault traces
     /// concatenate.
     ///
-    /// The three [`LevelGauge`] fields (`causal_buffered`,
-    /// `admission_queue`, `nvm_bank_queue`) are *not* merged — a
-    /// time-weighted occupancy has no meaningful pooled form at this
-    /// layer. Fleet summaries instead sum the per-shard gauge-derived
-    /// summary fields.
+    /// The four [`LevelGauge`] fields (`causal_buffered`,
+    /// `admission_queue`, `nvm_bank_queue`, `compactions_active`) are
+    /// *not* merged — a time-weighted occupancy has no meaningful pooled
+    /// form at this layer. Fleet summaries instead sum the per-shard
+    /// gauge-derived summary fields.
     pub fn absorb(&mut self, other: &RunStats) {
         self.reads_completed += other.reads_completed;
         self.writes_completed += other.writes_completed;
@@ -200,6 +209,9 @@ impl RunStats {
         self.ol_shed += other.ol_shed;
         self.admissions += other.admissions;
         self.admission_wait += other.admission_wait;
+        self.lsm_seals += other.lsm_seals;
+        self.lsm_merges += other.lsm_merges;
+        self.compaction_bytes += other.compaction_bytes;
     }
 }
 
@@ -281,6 +293,17 @@ pub struct RunSummary {
     pub mean_nvm_bank_queue: f64,
     /// Peak NVM bank-queue depth across all nodes.
     pub max_nvm_bank_queue: u64,
+    /// Memtable seals scheduled by the LSM store tier (zero unless the
+    /// store is `StoreKind::Lsm`, like every compaction field below).
+    pub lsm_seals: u64,
+    /// Level merges scheduled by the LSM store tier.
+    pub lsm_merges: u64,
+    /// NVM bytes written by background compaction.
+    pub compaction_bytes: u64,
+    /// Time-weighted mean in-flight background compactions.
+    pub mean_active_compactions: f64,
+    /// Peak in-flight background compactions.
+    pub max_active_compactions: u64,
 }
 
 impl RunSummary {
@@ -338,6 +361,11 @@ impl RunSummary {
             },
             mean_nvm_bank_queue: stats.nvm_bank_queue.time_weighted_mean(),
             max_nvm_bank_queue: stats.nvm_bank_queue.max(),
+            lsm_seals: stats.lsm_seals,
+            lsm_merges: stats.lsm_merges,
+            compaction_bytes: stats.compaction_bytes,
+            mean_active_compactions: stats.compactions_active.time_weighted_mean(),
+            max_active_compactions: stats.compactions_active.max(),
         }
     }
 }
@@ -461,6 +489,31 @@ mod tests {
         assert_eq!(sum.max_nvm_bank_queue, 6);
         // 6 for 500ns, 2 for 500ns => mean 4.
         assert!((sum.mean_nvm_bank_queue - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compaction_fields_surface_in_summary_and_default_to_zero() {
+        let mut s = RunStats {
+            lsm_seals: 12,
+            lsm_merges: 3,
+            compaction_bytes: 96_000,
+            ..RunStats::default()
+        };
+        s.compactions_active.set(SimTime::ZERO, 2);
+        s.compactions_active.set(SimTime::from_nanos(500), 0);
+        s.compactions_active.finish(SimTime::from_nanos(1_000));
+        let sum = RunSummary::from_stats(&s);
+        assert_eq!(sum.lsm_seals, 12);
+        assert_eq!(sum.lsm_merges, 3);
+        assert_eq!(sum.compaction_bytes, 96_000);
+        assert_eq!(sum.max_active_compactions, 2);
+        // 2 for 500ns, 0 for 500ns => mean 1.
+        assert!((sum.mean_active_compactions - 1.0).abs() < 1e-9);
+
+        let quiet = RunSummary::from_stats(&RunStats::default());
+        assert_eq!(quiet.lsm_seals, 0);
+        assert_eq!(quiet.compaction_bytes, 0);
+        assert_eq!(quiet.mean_active_compactions, 0.0);
     }
 
     #[test]

@@ -27,11 +27,15 @@
 //!   `scaling` bin's x-axis);
 //! * `--burst B1,B2,…` — MMPP burst ratios for open-loop sweeps
 //!   (1.0 = plain Poisson; the `overload` bin adds one sweep row per
-//!   ratio).
+//!   ratio);
+//! * `--store NAME` — override the replica store backend on every trial
+//!   (`hashtable`, `map`, `btree`, `bplustree`, `memcached`, or `lsm`).
 //!
 //! [`record_fields`]: crate::fields::record_fields
 
 use std::path::PathBuf;
+
+use ddp_core::StoreKind;
 
 /// Parsed harness flags.
 #[derive(Clone, Debug, PartialEq)]
@@ -63,6 +67,9 @@ pub struct HarnessArgs {
     /// MMPP burst ratios for open-loop sweeps (empty: bin default;
     /// 1.0 = plain Poisson arrivals).
     pub burst: Vec<f64>,
+    /// Replica store backend override applied to every trial (`None`:
+    /// each bin's own default).
+    pub store: Option<StoreKind>,
 }
 
 impl Default for HarnessArgs {
@@ -80,6 +87,7 @@ impl Default for HarnessArgs {
             load: Vec::new(),
             shards: Vec::new(),
             burst: Vec::new(),
+            store: None,
         }
     }
 }
@@ -200,6 +208,15 @@ impl HarnessArgs {
                         return Err("--burst needs at least one ratio".to_string());
                     }
                 }
+                "--store" => {
+                    let v = it.next().ok_or("--store needs a backend name")?;
+                    parsed.store = Some(StoreKind::parse_name(&v).ok_or_else(|| {
+                        format!(
+                            "--store needs one of hashtable|map|btree|bplustree|memcached|lsm, \
+                             got {v:?}"
+                        )
+                    })?);
+                }
                 other => return Err(format!("unknown argument {other:?}")),
             }
         }
@@ -227,7 +244,7 @@ impl HarnessArgs {
         format!(
             "usage: {bin} [--threads N] [--json PATH] [--csv PATH] [--trace PATH] \
              [--trace-sample NS] [--timeline PATH] [--window-ns NS] [--quick] [--seeds N] \
-             [--load R1,R2,...] [--shards S1,S2,...] [--burst B1,B2,...]\n\
+             [--load R1,R2,...] [--shards S1,S2,...] [--burst B1,B2,...] [--store NAME]\n\
              \x20 --threads N        executor worker threads (default: DDP_THREADS or all cores)\n\
              \x20 --json PATH        write every run record to PATH as JSON lines\n\
              \x20 --csv PATH         write every run record to PATH as CSV (same fields)\n\
@@ -239,7 +256,9 @@ impl HarnessArgs {
              \x20 --seeds N          replicate each trial under N derived seeds; report mean ± spread\n\
              \x20 --load R1,R2,...   offered-load points for open-loop sweeps (bin-specific units)\n\
              \x20 --shards S1,S2,... shard counts for sharded fleet sweeps\n\
-             \x20 --burst B1,B2,...  MMPP burst ratios for open-loop sweeps (1.0 = plain Poisson)"
+             \x20 --burst B1,B2,...  MMPP burst ratios for open-loop sweeps (1.0 = plain Poisson)\n\
+             \x20 --store NAME       replica store backend for every trial (hashtable|map|btree|\n\
+             \x20                    bplustree|memcached|lsm; default: bin-specific)"
         )
     }
 }
@@ -289,6 +308,8 @@ mod tests {
             "1,2, 4,8",
             "--burst",
             "1.0,4.0",
+            "--store",
+            "lsm",
         ])
         .unwrap();
         assert_eq!(a.threads, 4);
@@ -312,6 +333,24 @@ mod tests {
         );
         assert_eq!(a.window_ns, Some(50_000));
         assert!(a.quick);
+        assert_eq!(a.store, Some(StoreKind::Lsm));
+    }
+
+    #[test]
+    fn store_axis_parses_every_backend_and_rejects_unknown_names() {
+        for (name, kind) in [
+            ("hashtable", StoreKind::HashTable),
+            ("map", StoreKind::Map),
+            ("btree", StoreKind::BTree),
+            ("bplustree", StoreKind::BPlusTree),
+            ("memcached", StoreKind::Memcached),
+            ("lsm", StoreKind::Lsm),
+        ] {
+            assert_eq!(parse(&["--store", name]).unwrap().store, Some(kind));
+        }
+        assert!(parse(&["--store"]).is_err());
+        assert!(parse(&["--store", "rocksdb"]).is_err());
+        assert!(parse(&["--store", "LSM"]).is_err(), "names are lowercase");
     }
 
     #[test]
@@ -363,5 +402,6 @@ mod tests {
         assert!(a.load.is_empty());
         assert!(a.shards.is_empty());
         assert!(a.burst.is_empty());
+        assert!(a.store.is_none());
     }
 }

@@ -171,9 +171,9 @@ impl Harness {
         &self.args
     }
 
-    /// Runs one sweep: applies `--quick` (and, under `--trace` /
-    /// `--timeline`, enables the corresponding instrumentation on every
-    /// trial), executes on `--threads` workers, appends every record to
+    /// Runs one sweep: applies `--quick` and `--store` (and, under
+    /// `--trace` / `--timeline`, enables the corresponding
+    /// instrumentation on every trial), executes on `--threads` workers, appends every record to
     /// the `--json`/`--csv` streams, every trial's event stream to the
     /// `--trace` stream, and every trial's window rows to the
     /// `--timeline` stream, and returns the records in grid order.
@@ -183,6 +183,9 @@ impl Harness {
         } else {
             sweep
         };
+        if let Some(kind) = self.args.store {
+            sweep = sweep.map_cfg(move |cfg| cfg.with_store(kind));
+        }
         if self.args.trace.is_some() || self.args.timeline.is_some() {
             let mut trace_cfg = if self.args.trace.is_some() {
                 ddp_core::TraceConfig::enabled()
@@ -369,5 +372,16 @@ mod tests {
     #[test]
     fn empty_sweep_is_a_noop() {
         assert!(run_sweep(Sweep::new(), 8).is_empty());
+    }
+
+    #[test]
+    fn store_override_reaches_every_trial() {
+        use ddp_core::StoreKind;
+        let mut args = HarnessArgs::sequential();
+        args.store = Some(StoreKind::Lsm);
+        let mut h = Harness::new("exec-test", args);
+        let flagged = h.run(tiny_grid());
+        let explicit = run_sweep(tiny_grid().map_cfg(|c| c.with_store(StoreKind::Lsm)), 1);
+        assert_eq!(flagged, explicit);
     }
 }

@@ -94,6 +94,11 @@ pub fn record_fields(r: &RunRecord) -> Vec<(&'static str, FieldValue<'_>)> {
         ("mean_admission_wait_ns", F64(s.mean_admission_wait_ns)),
         ("mean_nvm_bank_queue", F64(s.mean_nvm_bank_queue)),
         ("max_nvm_bank_queue", U64(s.max_nvm_bank_queue)),
+        ("lsm_seals", U64(s.lsm_seals)),
+        ("lsm_merges", U64(s.lsm_merges)),
+        ("compaction_bytes", U64(s.compaction_bytes)),
+        ("mean_active_compactions", F64(s.mean_active_compactions)),
+        ("max_active_compactions", U64(s.max_active_compactions)),
     ]
 }
 

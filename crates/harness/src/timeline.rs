@@ -40,6 +40,8 @@ pub fn timeline_fields(w: &TimelineWindow) -> Vec<(&'static str, FieldValue<'_>)
         ("lag_p50_ns", U64(w.lag_p50_ns())),
         ("lag_p99_ns", U64(w.lag_p99_ns())),
         ("lag_max_ns", U64(w.lag_max_ns())),
+        ("compaction_bytes", U64(w.compaction_bytes)),
+        ("active_compactions", U64(w.active_compactions)),
     ]
 }
 

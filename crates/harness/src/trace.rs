@@ -78,6 +78,15 @@ pub fn trace_event_to_json(trial: usize, r: &TraceRecord) -> String {
             o.u64("bank_queued", r.a);
             o.u64("nvm_inflight", r.b);
         }
+        TraceEventKind::CompactionBegin => {
+            o.u64("work", r.a);
+            o.u64("entries", r.b);
+            o.u64("bytes", r.c);
+        }
+        TraceEventKind::CompactionEnd => {
+            o.u64("work", r.a);
+            o.u64("bytes", r.c);
+        }
     }
     o.finish()
 }
@@ -172,6 +181,23 @@ mod tests {
                 && nvm.contains("\"bank_queued\":42")
                 && nvm.contains("\"nvm_inflight\":3"),
             "{nvm}"
+        );
+
+        let cb = trace_event_to_json(5, &rec(TraceEventKind::CompactionBegin));
+        assert!(
+            cb.contains("\"kind\":\"compaction_begin\"")
+                && cb.contains("\"work\":42")
+                && cb.contains("\"entries\":3")
+                && cb.contains("\"bytes\":250"),
+            "{cb}"
+        );
+
+        let ce = trace_event_to_json(6, &rec(TraceEventKind::CompactionEnd));
+        assert!(
+            ce.contains("\"kind\":\"compaction_end\"")
+                && ce.contains("\"work\":42")
+                && ce.contains("\"bytes\":250"),
+            "{ce}"
         );
     }
 

@@ -84,6 +84,20 @@ impl MemoryController {
         self.nvm.submit(now, addr, bytes, AccessKind::Read)
     }
 
+    /// Admits a background compaction write of `bytes` to NVM starting at
+    /// `now`, striped in `chunk_bytes` chunks across banks from `addr`'s
+    /// bank (see [`BankedDevice::submit_background`]). Foreground persists
+    /// queue behind the burst, but the foreground statistics stay clean.
+    pub fn compact_write(
+        &mut self,
+        now: SimTime,
+        addr: u64,
+        bytes: u64,
+        chunk_bytes: u64,
+    ) -> SimTime {
+        self.nvm.submit_background(now, addr, bytes, chunk_bytes)
+    }
+
     /// Number of persists still in flight at `now`.
     pub fn nvm_pressure(&mut self, now: SimTime) -> usize {
         self.nvm.pressure(now)
@@ -167,6 +181,18 @@ mod tests {
         mc.ddio_inject(0x4000);
         let (level, _) = mc.volatile_access_traced(0x4000);
         assert_eq!(level, HitLevel::Llc);
+    }
+
+    #[test]
+    fn compaction_delays_colliding_persists() {
+        let mut mc = MemoryController::new(MemoryParams::micro21());
+        let quiet = mc.persist(SimTime::ZERO, 0x40, 64);
+        let mut busy = MemoryController::new(MemoryParams::micro21());
+        // A large compaction burst touches every bank.
+        busy.compact_write(SimTime::ZERO, 0, 1 << 16, 256);
+        let contended = busy.persist(SimTime::ZERO, 0x40, 64);
+        assert!(contended > quiet, "persists must queue behind compaction");
+        assert_eq!(busy.nvm().background_write_count(), 1);
     }
 
     #[test]

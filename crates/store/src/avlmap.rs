@@ -292,6 +292,34 @@ impl<V> OrderedKvStore<V> for AvlMap<V> {
         }
         walk(&self.root, f);
     }
+
+    fn range_inclusive(&self, lo: Key, hi: Key) -> Vec<(Key, &V)> {
+        // Tree-native bounded walk: subtrees entirely outside [lo, hi] are
+        // pruned, so the cost is O(log n + matches) instead of O(n).
+        fn walk<'a, V>(
+            node: &'a Option<Box<Node<V>>>,
+            lo: Key,
+            hi: Key,
+            out: &mut Vec<(Key, &'a V)>,
+        ) {
+            if let Some(n) = node {
+                if n.key > lo {
+                    walk(&n.left, lo, hi, out);
+                }
+                if n.key >= lo && n.key <= hi {
+                    out.push((n.key, &n.value));
+                }
+                if n.key < hi {
+                    walk(&n.right, lo, hi, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if lo <= hi {
+            walk(&self.root, lo, hi, &mut out);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -379,5 +407,31 @@ mod tests {
         let r = m.range_inclusive(5, 8);
         let keys: Vec<_> = r.iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, vec![5, 6, 7, 8]);
+        assert!(m.range_inclusive(8, 5).is_empty(), "inverted bounds");
+    }
+
+    #[test]
+    fn native_range_matches_the_trait_default_oracle() {
+        let mut m = AvlMap::new();
+        let mut state = 0x9e37_79b9_u64;
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            m.put((state >> 40) % 200, state);
+        }
+        for (lo, hi) in [(0u64, 199u64), (37, 91), (150, 150), (190, 500)] {
+            // The O(n) trait default is the oracle for the pruned walk.
+            let mut oracle = Vec::new();
+            m.for_each_in_order(&mut |k, v| {
+                if k >= lo && k <= hi {
+                    oracle.push((k, *v));
+                }
+            });
+            let native: Vec<(Key, u64)> = m
+                .range_inclusive(lo, hi)
+                .into_iter()
+                .map(|(k, v)| (k, *v))
+                .collect();
+            assert_eq!(native, oracle, "range [{lo}, {hi}]");
+        }
     }
 }

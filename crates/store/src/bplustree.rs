@@ -252,6 +252,15 @@ impl<V> OrderedKvStore<V> for BPlusTree<V> {
             idx = leaf.next;
         }
     }
+
+    fn range_inclusive(&self, lo: Key, hi: Key) -> Vec<(Key, &V)> {
+        // The linked-leaf scan starts at lo's leaf and stops past hi:
+        // O(log n + matches), not the trait default's full O(n) walk.
+        if lo > hi {
+            return Vec::new();
+        }
+        self.scan(lo, hi)
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +334,29 @@ mod tests {
         }
         assert_eq!(t.len(), model.len());
         assert_eq!(t.keys_in_order(), model.keys().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn native_range_matches_the_trait_default_oracle() {
+        let mut t = BPlusTree::new();
+        for k in (0..600u64).step_by(3) {
+            t.put(k, k * 2);
+        }
+        for (lo, hi) in [(0u64, 599u64), (91, 347), (300, 300), (598, 9999), (5, 4)] {
+            // The O(n) trait default is the oracle for the leaf-linked scan.
+            let mut oracle = Vec::new();
+            t.for_each_in_order(&mut |k, v| {
+                if k >= lo && k <= hi {
+                    oracle.push((k, *v));
+                }
+            });
+            let native: Vec<(Key, u64)> = t
+                .range_inclusive(lo, hi)
+                .into_iter()
+                .map(|(k, v)| (k, *v))
+                .collect();
+            assert_eq!(native, oracle, "range [{lo}, {hi}]");
+        }
     }
 
     #[test]

@@ -388,6 +388,32 @@ impl<V> OrderedKvStore<V> for BTree<V> {
             self.root.for_each(f);
         }
     }
+
+    fn range_inclusive(&self, lo: Key, hi: Key) -> Vec<(Key, &V)> {
+        // Tree-native bounded walk: binary search positions the slot
+        // bounds in every node, and only child subtrees overlapping
+        // [lo, hi] descend — O(log n + matches) instead of O(n).
+        fn walk<'a, V>(node: &'a Node<V>, lo: Key, hi: Key, out: &mut Vec<(Key, &'a V)>) {
+            let start = node.keys.partition_point(|&k| k < lo);
+            let end = node.keys.partition_point(|&k| k <= hi);
+            if node.is_leaf() {
+                for i in start..end {
+                    out.push((node.keys[i], &node.values[i]));
+                }
+            } else {
+                for i in start..end {
+                    walk(&node.children[i], lo, hi, out);
+                    out.push((node.keys[i], &node.values[i]));
+                }
+                walk(&node.children[end], lo, hi, out);
+            }
+        }
+        let mut out = Vec::new();
+        if self.len > 0 && lo <= hi {
+            walk(&self.root, lo, hi, &mut out);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -477,5 +503,31 @@ mod tests {
         t.put(5, vec![1]);
         t.get_mut(5).unwrap().push(2);
         assert_eq!(t.get(5), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn native_range_matches_the_trait_default_oracle() {
+        let mut t = BTree::new();
+        let mut state = 0x5ca1_ab1e_u64;
+        for _ in 0..800 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            t.put((state >> 40) % 1_000, state);
+        }
+        t.assert_invariants();
+        for (lo, hi) in [(0u64, 999u64), (123, 789), (500, 500), (990, 5000), (7, 6)] {
+            // The O(n) trait default is the oracle for the pruned walk.
+            let mut oracle = Vec::new();
+            t.for_each_in_order(&mut |k, v| {
+                if k >= lo && k <= hi {
+                    oracle.push((k, *v));
+                }
+            });
+            let native: Vec<(Key, u64)> = t
+                .range_inclusive(lo, hi)
+                .into_iter()
+                .map(|(k, v)| (k, *v))
+                .collect();
+            assert_eq!(native, oracle, "range [{lo}, {hi}]");
+        }
     }
 }

@@ -54,6 +54,15 @@ pub enum TraceEventKind {
     /// busy NVM banks across all nodes, `b`=persists in flight across all
     /// nodes).
     NvmQueueSample = 13,
+    /// An LSM background compaction (memtable seal or level merge) began
+    /// writing to NVM (`a`=kind: 0 for a seal, `level + 1` for a merge
+    /// out of `level`; `b`=entries, `c`=NVM bytes).
+    CompactionBegin = 14,
+    /// An LSM background compaction finished its NVM writes (`a`=kind as
+    /// in [`CompactionBegin`], `c`=NVM bytes).
+    ///
+    /// [`CompactionBegin`]: TraceEventKind::CompactionBegin
+    CompactionEnd = 15,
 }
 
 impl TraceEventKind {
@@ -75,6 +84,8 @@ impl TraceEventKind {
             TraceEventKind::Sample => "sample",
             TraceEventKind::AdmissionSample => "admission_sample",
             TraceEventKind::NvmQueueSample => "nvm_queue_sample",
+            TraceEventKind::CompactionBegin => "compaction_begin",
+            TraceEventKind::CompactionEnd => "compaction_end",
         }
     }
 }
@@ -172,6 +183,8 @@ mod tests {
             TraceEventKind::Sample,
             TraceEventKind::AdmissionSample,
             TraceEventKind::NvmQueueSample,
+            TraceEventKind::CompactionBegin,
+            TraceEventKind::CompactionEnd,
         ];
         let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         names.sort_unstable();

@@ -75,6 +75,11 @@ pub struct TimelineWindow {
     /// NVM bank queue depth (requests queued behind busy banks, all
     /// nodes) at window close.
     pub nvm_bank_queue: u64,
+    /// NVM bytes scheduled by LSM background compactions (memtable seals
+    /// and level merges) starting in this window.
+    pub compaction_bytes: u64,
+    /// In-flight background compactions (all nodes) at window close.
+    pub active_compactions: u64,
     /// VP→DP lags of writes reaching their DP in this window.
     lag: Histogram,
 }
@@ -99,6 +104,8 @@ impl TimelineWindow {
             admission_queue: 0,
             in_flight: 0,
             nvm_bank_queue: 0,
+            compaction_bytes: 0,
+            active_compactions: 0,
             lag: Histogram::new(),
         }
     }
@@ -324,6 +331,16 @@ impl Timeline {
         w.nvm_queue_ns += queue_wait.as_nanos();
     }
 
+    /// Records an LSM background compaction scheduled at `at_ns` that
+    /// will write `bytes` to NVM.
+    #[inline]
+    pub fn compaction(&mut self, at_ns: u64, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.window_mut(at_ns).compaction_bytes += bytes;
+    }
+
     /// Records a write reaching its DP at `at_ns` with the given VP→DP
     /// lag.
     #[inline]
@@ -373,7 +390,14 @@ impl Timeline {
     /// Stamps the close-of-window gauge levels for the window ending at
     /// `at_ns` (a boundary returned by [`Timeline::boundary_due`], or the
     /// final run time from [`Timeline::finish`]).
-    pub fn snapshot(&mut self, at_ns: u64, admission_queue: u64, in_flight: u64, nvm_queue: u64) {
+    pub fn snapshot(
+        &mut self,
+        at_ns: u64,
+        admission_queue: u64,
+        in_flight: u64,
+        nvm_queue: u64,
+        active_compactions: u64,
+    ) {
         if !self.enabled {
             return;
         }
@@ -381,17 +405,31 @@ impl Timeline {
         w.admission_queue = admission_queue;
         w.in_flight = in_flight;
         w.nvm_bank_queue = nvm_queue;
+        w.active_compactions = active_compactions;
     }
 
     /// Closes the timeline at run end: stamps the final (possibly
     /// partial) window's gauge levels and records the end time.
-    pub fn finish(&mut self, now_ns: u64, admission_queue: u64, in_flight: u64, nvm_queue: u64) {
+    pub fn finish(
+        &mut self,
+        now_ns: u64,
+        admission_queue: u64,
+        in_flight: u64,
+        nvm_queue: u64,
+        active_compactions: u64,
+    ) {
         if !self.enabled {
             return;
         }
         self.end_ns = now_ns;
         if now_ns > self.origin_ns {
-            self.snapshot(now_ns, admission_queue, in_flight, nvm_queue);
+            self.snapshot(
+                now_ns,
+                admission_queue,
+                in_flight,
+                nvm_queue,
+                active_compactions,
+            );
         }
     }
 
@@ -492,18 +530,19 @@ mod tests {
         let mut t = timeline();
         t.completion(1_050, true);
         // The boundary at 1_100 closes window 0.
-        t.snapshot(1_100, 3, 7, 11);
+        t.snapshot(1_100, 3, 7, 11, 2);
         let dump = t.take();
         assert_eq!(dump.windows[0].admission_queue, 3);
         assert_eq!(dump.windows[0].in_flight, 7);
         assert_eq!(dump.windows[0].nvm_bank_queue, 11);
+        assert_eq!(dump.windows[0].active_compactions, 2);
     }
 
     #[test]
     fn finish_stamps_the_partial_window_and_end_time() {
         let mut t = timeline();
         t.completion(1_120, true);
-        t.finish(1_150, 1, 2, 3);
+        t.finish(1_150, 1, 2, 3, 0);
         let dump = t.take();
         assert_eq!(dump.end_ns, 1_150);
         assert_eq!(dump.windows.len(), 2);
@@ -559,5 +598,16 @@ mod tests {
         let dump = t.take();
         assert_eq!(dump.windows[0].phase_total_ns(), 21);
         assert_eq!(dump.windows[0].persists_issued, 1);
+    }
+
+    #[test]
+    fn compaction_bytes_accumulate_per_window() {
+        let mut t = timeline();
+        t.compaction(1_010, 4_096);
+        t.compaction(1_020, 1_024);
+        t.compaction(1_150, 64);
+        let dump = t.take();
+        assert_eq!(dump.windows[0].compaction_bytes, 5_120);
+        assert_eq!(dump.windows[1].compaction_bytes, 64);
     }
 }
